@@ -1,0 +1,71 @@
+"""Shared scenario builders for the benchmark harness.
+
+Each ``bench_*`` module regenerates one row/series of the paper's
+quantitative claims (see DESIGN.md §2, EXPERIMENTS.md).  Everything here is
+seeded and deterministic.
+"""
+
+import pytest
+
+from repro.bitcoin.regtest import RegtestNetwork
+from repro.core.builder import basis_publication, build_with_payload
+from repro.core.currency import issue_proof, newcoin_basis
+from repro.core.proofs import obligation_lambda, tensor_intro_all
+from repro.core.transaction import TypecoinOutput
+from repro.core.validate import Ledger
+from repro.core.wallet import TypecoinClient
+from repro.lf.basis import Basis
+from repro.logic.propositions import One
+
+
+@pytest.fixture
+def net():
+    return RegtestNetwork()
+
+
+@pytest.fixture
+def ledger():
+    return Ledger()
+
+
+@pytest.fixture
+def bank(net, ledger):
+    client = TypecoinClient(net, b"bench-bank", ledger)
+    net.fund_wallet(client.wallet, blocks=4)
+    return client
+
+
+@pytest.fixture
+def alice(net, ledger):
+    client = TypecoinClient(net, b"bench-alice", ledger)
+    net.fund_wallet(client.wallet, blocks=4)
+    return client
+
+
+def publish_newcoin(net, bank):
+    basis, vocab = newcoin_basis(bank.principal_term, bank.principal_term)
+    txn = basis_publication(basis, bank.pubkey)
+    carrier = bank.submit(txn)
+    net.confirm(1)
+    bank.sync()
+    return vocab.resolved(carrier.txid), carrier.txid
+
+
+def issue_coins(net, bank, vocab, amount, recipient_pubkey, sats=600):
+    out = TypecoinOutput(vocab.coin_prop(amount), sats, recipient_pubkey)
+    txn = build_with_payload(
+        Basis(), One(), [], [out],
+        lambda payload: obligation_lambda(
+            One(), [], [out.receipt()],
+            lambda _c, _i, _r: tensor_intro_all([
+                issue_proof(
+                    vocab, amount,
+                    bank.affirm_affine(vocab.print_prop(amount), payload),
+                )
+            ]),
+        ),
+    )
+    carrier = bank.submit(txn)
+    net.confirm(1)
+    bank.sync()
+    return carrier, txn

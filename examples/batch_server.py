@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Batch mode: a credential server amortizing fees and latency (§3.2).
+
+The university IT department runs a batch-mode server for campus Typecoin
+use.  The bank issues meal credits (newcoins) straight to the server;
+students swap them all day with zero fees and zero confirmation delay; a
+graduating student withdraws her balance to her own key — one on-chain
+transaction batching the whole virtual history.
+
+"Note that batch mode does not compromise the trustlessness of the
+network" — the final withdrawal is a perfectly ordinary Typecoin
+transaction that any third party can verify with the §3 protocol.
+
+Run: ``python examples/batch_server.py``
+"""
+
+from repro.bitcoin.transaction import OutPoint
+from repro.core.batch import (
+    BatchServer,
+    VirtualOutput,
+    VirtualTransaction,
+    WriteThroughRequired,
+    authorize,
+)
+from repro.core.builder import basis_publication, build_with_payload
+from repro.core.currency import issue_proof, newcoin_basis, split_proof
+from repro.core.proofs import obligation_lambda, tensor_intro_all
+from repro.core.transaction import TypecoinOutput
+from repro.core.validate import Ledger
+from repro.core.verifier import verify_claim
+from repro.core.wallet import TypecoinClient
+from repro.lf.basis import Basis
+from repro.lf.syntax import NatLit
+from repro.logic.conditions import Before
+from repro.logic.proofterms import IfReturn, LolliIntro, PVar
+from repro.logic.propositions import One
+
+
+def main() -> None:
+    from repro.bitcoin.regtest import RegtestNetwork
+
+    net = RegtestNetwork()
+    ledger = Ledger()
+    bank = TypecoinClient(net, b"batch-bank", ledger)
+    student_a = TypecoinClient(net, b"batch-student-a", ledger)
+    student_b = TypecoinClient(net, b"batch-student-b", ledger)
+    net.fund_wallet(bank.wallet)
+    server = BatchServer(net, b"batch-it-dept", ledger)
+    net.fund_wallet(server.client.wallet)
+
+    # --- publish the meal-credit currency and issue to the server ---------
+    basis, vocab = newcoin_basis(bank.principal_term, bank.principal_term)
+    pub = bank.submit(basis_publication(basis, bank.pubkey))
+    net.confirm(1)
+    bank.sync()
+    vocab = vocab.resolved(pub.txid)
+
+    out = TypecoinOutput(vocab.coin_prop(20), 1_800, server.pubkey)
+    issue = build_with_payload(
+        Basis(), One(), [], [out],
+        lambda payload: obligation_lambda(
+            One(), [], [out.receipt()],
+            lambda _c, _i, _r: tensor_intro_all([
+                issue_proof(
+                    vocab, 20,
+                    bank.affirm_affine(vocab.print_prop(20), payload),
+                )
+            ]),
+        ),
+    )
+    issue_carrier = bank.submit(issue)
+    net.confirm(1)
+    bank.sync()
+    bundle = bank.claim_bundle(OutPoint(issue_carrier.txid, 0), vocab.coin_prop(20))
+    rid = server.deposit(bundle, owner=student_a.principal)
+    print(f"deposited: 20 meal credits for student A (resource #{rid})")
+
+    # --- instant, free, off-chain transactions -----------------------------
+    height_before = net.chain.height
+    split = VirtualTransaction(
+        inputs=[rid],
+        outputs=[
+            VirtualOutput(vocab.coin_prop(12), 1_000, student_a.principal),
+            VirtualOutput(vocab.coin_prop(8), 800, student_b.principal),
+        ],
+        proof=LolliIntro(
+            "x", vocab.coin_prop(20), split_proof(vocab, 12, 8, PVar("x"))
+        ),
+    )
+    server.transact(split, {student_a.principal: authorize(student_a.key, split)})
+    print("student A paid student B 8 credits — no fee, no block, instant")
+    assert net.chain.height == height_before
+
+    # The server refuses conditional discharges (must write through, §5).
+    b_rid = next(iter(server.holdings_of(student_b.principal)))
+    risky = VirtualTransaction(
+        inputs=[b_rid],
+        outputs=[VirtualOutput(vocab.coin_prop(8), 800, student_b.principal)],
+        proof=LolliIntro(
+            "x", vocab.coin_prop(8),
+            IfReturn(Before(NatLit(2_000_000_000)), PVar("x")),
+        ),
+    )
+    try:
+        server.transact(
+            risky, {student_b.principal: authorize(student_b.key, risky)}
+        )
+        raise SystemExit("BUG: conditional accepted in batch mode")
+    except WriteThroughRequired as exc:
+        print(f"conditional transaction refused ({exc}) — write-through")
+
+    # --- withdrawal: one on-chain transaction for the whole history --------
+    carrier = server.withdraw(b_rid, student_b.pubkey)
+    net.confirm(1)
+    server.sync()
+    print(f"student B graduated: withdrawal carrier"
+          f" {carrier.txid_hex[:16]}… routes coin 8 to her key and"
+          " the rest back to the server")
+
+    # --- any third party can verify the withdrawn txout --------------------
+    claim = server.client.claim_bundle(
+        OutPoint(carrier.txid, 0), vocab.coin_prop(8)
+    )
+    verify_claim(net.chain, claim)
+    print("a third-party verifier accepted the withdrawn resource —"
+          " batch mode never compromised trustlessness")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""An expiring financial option (paper §5).
+
+"An important financial contract is the option, which allows the holder to
+purchase a commodity at a given price, or not, until the option expires"::
+
+    receipt(payment ↠ Alice) ⊸ if(before(t), commodity)
+
+The condition sits *beneath* the lolli: paying Alice yields a conditional
+that is worthless after t.  (The incorrect alternative, with the condition
+above the lolli, would let the holder discharge early and hold a
+non-expiring option — this example demonstrates both the correct behaviour
+and the expiry.)
+
+Run: ``python examples/expiring_option.py``
+"""
+
+from repro.bitcoin.regtest import RegtestNetwork
+from repro.core.builder import basis_publication
+from repro.core.proofs import obligation_lambda
+from repro.core.transaction import TypecoinOutput, TypecoinTransaction, trivial_output
+from repro.core.validate import Ledger
+from repro.core.wallet import ClientError, TypecoinClient
+from repro.lf.basis import Basis, KindDecl, PropDecl
+from repro.lf.syntax import KIND_PROP, NatLit, TConst
+from repro.logic.conditions import Before
+from repro.logic.proofterms import (
+    IfBind,
+    IfReturn,
+    LolliElim,
+    OneIntro,
+    PConst,
+    PVar,
+    TensorIntro,
+)
+from repro.logic.propositions import Atom, IfProp, Lolli, One, Receipt
+
+
+PRICE = 75_000  # satoshis
+
+
+def main() -> None:
+    net = RegtestNetwork()
+    ledger = Ledger()
+    alice = TypecoinClient(net, b"option-alice", ledger)  # the writer
+    holder = TypecoinClient(net, b"option-holder", ledger)
+    net.fund_wallet(alice.wallet)
+    net.fund_wallet(holder.wallet)
+
+    now = net.chain.tip.block.header.timestamp
+    expiry = now + 40  # regtest blocks tick ~1 simulated second each
+
+    # --- Alice publishes the option ---------------------------------------
+    basis = Basis()
+    commodity_ref = basis.declare_local("commodity", KindDecl(KIND_PROP))
+    commodity_local = Atom(TConst(commodity_ref))
+    basis.declare_local(
+        "exercise",
+        PropDecl(Lolli(
+            Receipt(One(), PRICE, alice.principal_term),
+            IfProp(Before(NatLit(expiry)), commodity_local),
+        )),
+    )
+    publication = basis_publication(basis, alice.pubkey)
+    pub_carrier = alice.submit(publication)
+    net.confirm(1)
+    alice.sync()
+    holder.known[pub_carrier.txid] = publication
+    basis_txid = pub_carrier.txid
+    from repro.lf.syntax import ConstRef
+
+    commodity = Atom(TConst(ConstRef(basis_txid, "commodity")))
+    exercise = PConst(ConstRef(basis_txid, "exercise"))
+    print(f"option published: pay {PRICE} sat before t={expiry} for the"
+          " commodity")
+    print(f"  (chain time is now {net.chain.tip.block.header.timestamp})")
+
+    # --- the holder exercises in time ---------------------------------------
+    def exercise_txn():
+        commodity_out = TypecoinOutput(commodity, 600, holder.pubkey)
+        payment_out = trivial_output(alice.pubkey, PRICE)
+        condition = Before(NatLit(expiry))
+
+        def body(_c, _ins, receipts):
+            conditional = LolliElim(exercise, receipts[1])
+            return IfBind(
+                "got", conditional,
+                IfReturn(condition, TensorIntro(PVar("got"), OneIntro())),
+            )
+
+        return TypecoinTransaction(
+            Basis(), One(), [], [commodity_out, payment_out],
+            obligation_lambda(
+                One(), [],
+                [commodity_out.receipt(), payment_out.receipt()],
+                body,
+            ),
+        )
+
+    carrier = holder.submit(exercise_txn())
+    net.confirm(1)
+    holder.sync()
+    print(f"exercised in time: commodity acquired"
+          f" ({carrier.txid_hex[:16]}…); payment of"
+          f" {carrier.vout[1].value} sat went to Alice")
+
+    # --- time passes; the option expires ------------------------------------
+    net.confirm(60)  # ~60 simulated seconds of blocks
+    print(f"  (chain time is now {net.chain.tip.block.header.timestamp},"
+          f" past the t={expiry} expiry)")
+
+    try:
+        holder.submit(exercise_txn())
+        raise SystemExit("BUG: expired option exercised")
+    except ClientError as exc:
+        print(f"late exercise rejected: {exc}")
+
+    print("\nthe option expired worthless — exactly as §5 specifies.")
+
+
+if __name__ == "__main__":
+    main()

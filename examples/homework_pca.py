@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Proof-carrying authorization: the homework scenario of paper §1–2.
+
+Alice wants Bob to be able to turn in his homework exactly once.  A
+persistent statement would let him resubmit forever, so she issues
+⟨Alice⟩may-write(Bob, homework) as an *affine* resource.  The protocol:
+
+1. Alice publishes the authorization vocabulary (files, may_write,
+   may_write_this, and the nonce-infusion rule).
+2. Alice issues the affine credential to Bob.
+3. Bob asks the file server to write; it replies with a nonce n.
+4. Bob commits on-chain: may_write(Bob, homework) ⊸
+   may_write_this(Bob, homework, n).
+5. The server verifies the §3 claim and performs the write.
+6. Bob tries to write again — and cannot: the credential is spent.
+
+Run: ``python examples/homework_pca.py``
+"""
+
+from repro.bitcoin.regtest import RegtestNetwork
+from repro.bitcoin.transaction import OutPoint
+from repro.core.builder import basis_publication, build_with_payload, simple_transfer
+from repro.core.pca import FileServer, FileServerError, authorization_basis
+from repro.core.proofs import obligation_lambda, tensor_intro_all
+from repro.core.transaction import TypecoinOutput
+from repro.core.validate import Ledger
+from repro.core.wallet import TypecoinClient
+from repro.lf.basis import Basis
+from repro.lf.syntax import NatLit
+from repro.logic.proofterms import ForallElim, LolliElim, PConst
+from repro.logic.propositions import One, Says
+
+
+def main() -> None:
+    net = RegtestNetwork()
+    ledger = Ledger()
+    alice = TypecoinClient(net, b"hw-alice", ledger)
+    bob = TypecoinClient(net, b"hw-bob", ledger)
+    net.fund_wallet(alice.wallet)
+    net.fund_wallet(bob.wallet)
+
+    # --- 1. Alice publishes the vocabulary -------------------------------
+    basis, vocab = authorization_basis(alice.principal_term, ["homework"])
+    publication = basis_publication(basis, alice.pubkey)
+    pub_carrier = alice.submit(publication)
+    net.confirm(1)
+    alice.sync()
+    vocab = vocab.resolved(pub_carrier.txid)
+    bob.known[pub_carrier.txid] = publication
+    print(f"1. authorization basis published ({pub_carrier.txid_hex[:16]}…)")
+
+    # --- 2. the affine credential ----------------------------------------
+    may_write = vocab.may_write_prop(bob.principal_term, "homework")
+    credential = Says(alice.principal_term, may_write)
+    out = TypecoinOutput(credential, 600, bob.pubkey)
+    issue = build_with_payload(
+        Basis(), One(), [], [out],
+        lambda payload: obligation_lambda(
+            One(), [], [out.receipt()],
+            lambda _c, _i, _r: tensor_intro_all(
+                [alice.affirm_affine(may_write, payload)]
+            ),
+        ),
+    )
+    issue_carrier = alice.submit(issue)
+    net.confirm(1)
+    alice.sync()
+    bob.known[issue_carrier.txid] = issue
+    credential_outpoint = OutPoint(issue_carrier.txid, 0)
+    print(f"2. Alice issued: {credential}")
+
+    # --- 3. Bob requests a write, gets a nonce ---------------------------
+    server = FileServer(chain=net.chain, vocab=vocab)
+    nonce = server.request_write(bob.principal, "homework")
+    print(f"3. file server issued nonce {nonce}")
+
+    # --- 4. Bob commits: infuse the nonce, spending the credential -------
+    target = vocab.may_write_this_prop(bob.principal_term, "homework", nonce)
+    conversion = simple_transfer(
+        [bob.input_for(credential_outpoint)],
+        [TypecoinOutput(target, 600, bob.pubkey)],
+        body=lambda ins: LolliElim(
+            ForallElim(
+                ForallElim(
+                    ForallElim(PConst(vocab.use_write), bob.principal_term),
+                    vocab.file_term("homework"),
+                ),
+                NatLit(nonce),
+            ),
+            ins[0],
+        ),
+    )
+    conv_carrier = bob.submit(conversion)
+    net.confirm(1)
+    bob.sync()
+    print(f"4. Bob committed to the write on-chain ({conv_carrier.txid_hex[:16]}…)")
+
+    # --- 5. the server verifies and performs the write -------------------
+    bundle = bob.claim_bundle(OutPoint(conv_carrier.txid, 0), target)
+    server.complete_write(nonce, bundle, b"Bob's homework: 42.")
+    print(f"5. write performed; homework = {server.contents['homework']!r}")
+
+    # --- 6. a second hand-in attempt fails --------------------------------
+    nonce2 = server.request_write(bob.principal, "homework")
+    try:
+        bob.input_for(credential_outpoint)
+        conversion2 = simple_transfer(
+            [bob.input_for(credential_outpoint)],
+            [TypecoinOutput(
+                vocab.may_write_this_prop(bob.principal_term, "homework", nonce2),
+                600, bob.pubkey,
+            )],
+            body=lambda ins: LolliElim(
+                ForallElim(
+                    ForallElim(
+                        ForallElim(PConst(vocab.use_write), bob.principal_term),
+                        vocab.file_term("homework"),
+                    ),
+                    NatLit(nonce2),
+                ),
+                ins[0],
+            ),
+        )
+        bob.submit(conversion2)
+        raise SystemExit("BUG: credential was reused")
+    except Exception as exc:
+        print(f"6. second hand-in rejected: {type(exc).__name__} — the"
+              " credential was affine")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""The newcoin currency of paper §6 — including the Figure 3 purchase.
+
+A full monetary system in an afternoon:
+
+1. The bank publishes the coin/merge/split basis with the banker rules.
+2. The president appoints a term-limited central banker (§6.1).
+3. The banker publishes a revocable bitcoins-for-newcoins offer.
+4. A customer buys newcoins using *the Figure 3 proof term, verbatim*.
+5. The customer splits her coins and pays a friend.
+6. The banker revokes the offer; later purchases fail.
+
+Run: ``python examples/newcoin_bank.py``
+"""
+
+from repro.bitcoin.standard import p2pkh_script
+from repro.bitcoin.regtest import RegtestNetwork
+from repro.bitcoin.transaction import OutPoint, TxOut
+from repro.bitcoin.wallet import Spendable
+from repro.core.builder import basis_publication, simple_transfer
+from repro.core.currency import (
+    banker_offer_prop,
+    confirm_banker_proof,
+    figure3_proof,
+    newcoin_basis,
+    split_proof,
+)
+from repro.core.proofs import obligation_lambda
+from repro.core.transaction import TypecoinOutput, TypecoinTransaction, trivial_output
+from repro.core.validate import Ledger
+from repro.core.wallet import ClientError, TypecoinClient
+from repro.lf.basis import Basis
+from repro.lf.syntax import NatLit
+from repro.logic.conditions import Before, CAnd, CNot, Spent
+from repro.logic.proofterms import IfBind, IfReturn, OneIntro, PVar, TensorIntro, let_
+from repro.logic.propositions import One, Says
+
+
+def main() -> None:
+    net = RegtestNetwork()
+    ledger = Ledger()
+    bank = TypecoinClient(net, b"nc-bank", ledger)
+    carol = TypecoinClient(net, b"nc-carol", ledger)
+    dave = TypecoinClient(net, b"nc-dave", ledger)
+    for client in (bank, carol, dave):
+        net.fund_wallet(client.wallet)
+
+    # --- 1. publish the currency ------------------------------------------
+    basis, vocab = newcoin_basis(bank.principal_term, bank.principal_term)
+    publication = basis_publication(basis, bank.pubkey)
+    pub_carrier = bank.submit(publication)
+    net.confirm(1)
+    bank.sync()
+    vocab = vocab.resolved(pub_carrier.txid)
+    print(f"1. newcoin basis published ({pub_carrier.txid_hex[:16]}…)")
+
+    # --- 2. appoint the banker (the bank appoints itself here) -----------
+    term_end = 2_000_000_000
+    appointment = bank.affirm_persistent(
+        vocab.appoint_prop(bank.principal_term, term_end)
+    )
+    print(f"2. banker appointed until t={term_end}")
+
+    # --- 3. the revocable offer -------------------------------------------
+    n_btc, n_newcoins = 50_000, 25
+    revocation_tx = bank.wallet.create_transaction(
+        net.chain, [TxOut(1_000, p2pkh_script(bank.wallet.key_hash))], fee=1_000
+    )
+    net.send(revocation_tx)
+    net.confirm(1)
+    revocation = Spent(revocation_tx.txid, 0)
+    offer = banker_offer_prop(
+        vocab, bank.principal_term, n_btc, n_newcoins, revocation
+    )
+    order = bank.affirm_persistent(offer)
+    print(f"3. offer published: {offer}")
+
+    # --- 4. Carol purchases with the Figure 3 proof term -------------------
+    condition = CAnd(CNot(revocation), Before(NatLit(term_end)))
+    coin_out = TypecoinOutput(vocab.coin_prop(n_newcoins), 1_200, carol.pubkey)
+    payment_out = trivial_output(bank.pubkey, n_btc)
+    banker_cred = confirm_banker_proof(
+        vocab, bank.principal_term, term_end, appointment
+    )
+
+    def purchase_body(_c, _ins, receipts):
+        fig3 = figure3_proof(
+            vocab, bank.principal_term, term_end, n_newcoins, revocation,
+            receipt_var="rcpt", order_var="ordr", banker_cred_var="bnkr",
+        )
+        core = let_(
+            "ordr", Says(bank.principal_term, offer), order,
+            let_(
+                "bnkr", vocab.is_banker_prop(bank.principal_term, term_end),
+                banker_cred,
+                let_("rcpt", payment_out.receipt(), receipts[1], fig3),
+            ),
+        )
+        return IfBind(
+            "w", core, IfReturn(condition, TensorIntro(PVar("w"), OneIntro()))
+        )
+
+    purchase = TypecoinTransaction(
+        Basis(), One(), [], [coin_out, payment_out],
+        obligation_lambda(
+            One(), [], [coin_out.receipt(), payment_out.receipt()],
+            purchase_body,
+        ),
+    )
+    purchase_carrier = carol.submit(purchase)
+    net.confirm(1)
+    carol.sync()
+    print(f"4. Carol bought {n_newcoins} newcoins for {n_btc} satoshis"
+          f" ({purchase_carrier.txid_hex[:16]}…)")
+    print(f"   Bitcoin level: output 1 pays {purchase_carrier.vout[1].value}"
+          " satoshis to the bank")
+
+    # --- 5. Carol splits and pays Dave -------------------------------------
+    coins = carol.input_for(OutPoint(purchase_carrier.txid, 0))
+    split = simple_transfer(
+        [coins],
+        [
+            TypecoinOutput(vocab.coin_prop(10), 600, dave.pubkey),
+            TypecoinOutput(vocab.coin_prop(15), 600, carol.pubkey),
+        ],
+        body=lambda ins: split_proof(vocab, 10, 15, ins[0]),
+    )
+    split_carrier = carol.submit(split)
+    net.confirm(1)
+    carol.sync()
+    print(f"5. Carol split her coins: 10 to Dave, 15 kept"
+          f" ({split_carrier.txid_hex[:16]}…)")
+
+    # --- 6. revocation ------------------------------------------------------
+    entry = net.chain.utxos.get(OutPoint(revocation_tx.txid, 0))
+    revoke = bank.wallet.create_transaction(
+        net.chain,
+        [TxOut(600, p2pkh_script(bank.wallet.key_hash))],
+        fee=400,
+        extra_inputs=[
+            Spendable(OutPoint(revocation_tx.txid, 0), entry.output,
+                      entry.height, entry.is_coinbase)
+        ],
+    )
+    net.send(revoke)
+    net.confirm(1)
+    print("6. the banker revoked the offer by spending R")
+
+    try:
+        dave.submit(purchase)
+        raise SystemExit("BUG: purchase accepted after revocation")
+    except ClientError as exc:
+        print(f"   post-revocation purchase rejected: {exc}")
+
+    print("\nnewcoin example complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: issue, transfer, and verify an affine resource.
+
+This walks the core Typecoin loop from the paper's §2–3 on a private
+regtest network:
+
+1. Alice publishes a tiny basis declaring a ``ticket`` proposition.
+2. Alice issues one affine ticket to Bob, backed by her signature.
+3. Bob proves possession to a verifier with the §3 claim protocol.
+4. Bob spends the ticket; the verifier sees the double-spend attempt fail.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.bitcoin.regtest import RegtestNetwork
+from repro.bitcoin.transaction import OutPoint
+from repro.core.builder import basis_publication, build_with_payload, simple_transfer
+from repro.core.overlay import OverlayError
+from repro.core.proofs import obligation_lambda, tensor_intro_all
+from repro.core.transaction import TypecoinOutput
+from repro.core.validate import Ledger
+from repro.core.verifier import VerificationError, verify_claim
+from repro.core.wallet import TypecoinClient
+from repro.lf.basis import Basis, KindDecl
+from repro.lf.syntax import KIND_PROP, TConst
+from repro.logic.propositions import Atom, One, Says
+
+
+def main() -> None:
+    # --- a fresh private network with two principals --------------------
+    net = RegtestNetwork()
+    ledger = Ledger()  # a shared view of verified Typecoin history
+    alice = TypecoinClient(net, b"quickstart-alice", ledger)
+    bob = TypecoinClient(net, b"quickstart-bob", ledger)
+    net.fund_wallet(alice.wallet)
+    net.fund_wallet(bob.wallet)
+    print(f"Alice is principal #{alice.principal.hex()[:16]}…")
+    print(f"Bob   is principal #{bob.principal.hex()[:16]}…")
+
+    # --- 1. Alice publishes a basis declaring `ticket : prop` ------------
+    basis = Basis()
+    ticket_ref = basis.declare_local("ticket", KindDecl(KIND_PROP))
+    publication = basis_publication(basis, alice.pubkey)
+    pub_carrier = alice.submit(publication)
+    net.confirm(1)
+    alice.sync()
+    print(f"\n1. basis published in carrier {pub_carrier.txid_hex[:16]}…")
+    ticket = Atom(TConst(ticket_ref.resolved(pub_carrier.txid)))
+
+    # --- 2. Alice issues ⟨Alice⟩ticket to Bob as an affine resource -----
+    credential = Says(alice.principal_term, ticket)
+    out = TypecoinOutput(credential, 600, bob.pubkey)
+    issue = build_with_payload(
+        Basis(), One(), [], [out],
+        lambda payload: obligation_lambda(
+            One(), [], [out.receipt()],
+            lambda _c, _i, _r: tensor_intro_all(
+                [alice.affirm_affine(ticket, payload)]
+            ),
+        ),
+    )
+    issue_carrier = alice.submit(issue)
+    net.confirm(1)
+    alice.sync()
+    bob.known[issue_carrier.txid] = issue
+    bob.known[pub_carrier.txid] = publication
+    ticket_outpoint = OutPoint(issue_carrier.txid, 0)
+    print(f"2. ticket issued to Bob in {issue_carrier.txid_hex[:16]}…")
+
+    # --- 3. Bob proves possession to a third-party verifier -------------
+    bundle = bob.claim_bundle(ticket_outpoint, credential)
+    verify_claim(net.chain, bundle)
+    print(f"3. verifier accepted Bob's claim of: {credential}")
+
+    # --- 4. Bob spends the ticket; re-claiming it now fails -------------
+    spend = simple_transfer(
+        [bob.input_for(ticket_outpoint)],
+        [TypecoinOutput(credential, 600, alice.pubkey)],  # hand it back
+    )
+    bob.submit(spend)
+    net.confirm(1)
+    bob.sync()
+    print("4. Bob spent the ticket (returned it to Alice)")
+
+    try:
+        verify_claim(net.chain, bundle)
+        raise SystemExit("BUG: double claim accepted")
+    except VerificationError as exc:
+        print(f"   re-claim rejected as expected: {exc}")
+
+    try:
+        bob.submit(spend)
+        raise SystemExit("BUG: double spend accepted")
+    except (OverlayError, Exception) as exc:
+        print(f"   double spend rejected as expected: {type(exc).__name__}")
+
+    print("\nquickstart complete — the resource was affine: used at most once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Typecoin: peer-to-peer affine commitment using Bitcoin.
+
+A Python reproduction of Crary & Sullivan, PLDI 2015.  The package layers:
+
+* :mod:`repro.crypto` — hashes, secp256k1 ECDSA, Merkle trees;
+* :mod:`repro.bitcoin` — a self-contained Bitcoin implementation plus a
+  discrete-event network/mining simulator;
+* :mod:`repro.lf` — the LF logical framework for index terms;
+* :mod:`repro.logic` — the affine authorization logic and proof checker;
+* :mod:`repro.surface` — concrete syntax for the whole language;
+* :mod:`repro.core` — Typecoin transactions, validation, the Bitcoin
+  overlay, verification, clients, batch mode, escrow, and the paper's
+  worked examples (newcoin, PCA).
+
+Start with ``examples/quickstart.py`` or the README.
+"""
+
+__version__ = "1.0.0"

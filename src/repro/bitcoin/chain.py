@@ -1,0 +1,337 @@
+"""The blockchain: a block tree resolved to a list by accumulated work.
+
+Paper §1, item 2: "In order for the blockchain to provide a commitment
+mechanism, we need it to be a list, not a tree.  Otherwise, a state change
+could be reversed by hopping to an alternate branch of the tree."  This
+module keeps the whole tree, defines the active chain as the branch with the
+most accumulated work, and reorganizes (with full UTXO undo) when a heavier
+branch appears — which is exactly the attack surface experiment E1 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitcoin.block import Block, build_block
+from repro.bitcoin.pow import (
+    BLOCK_INTERVAL_TARGET,
+    MAX_TARGET,
+    REGTEST_TARGET,
+    RETARGET_WINDOW,
+    bits_to_target,
+    block_work,
+    next_target,
+    target_to_bits,
+)
+from repro.bitcoin.transaction import COIN, OutPoint, Script, Transaction, TxIn, TxOut
+from repro.bitcoin.utxo import BlockUndo, UTXOSet
+from repro.bitcoin.validation import ValidationError, check_tx_inputs
+
+HALVING_INTERVAL = 210_000
+INITIAL_SUBSIDY = 50 * COIN
+MEDIAN_TIME_SPAN = 11
+
+
+@dataclass(frozen=True)
+class ChainParams:
+    """Consensus parameters; the regtest preset makes mining instant."""
+
+    max_target: int = MAX_TARGET
+    retarget_window: int = RETARGET_WINDOW
+    block_interval: int = BLOCK_INTERVAL_TARGET
+    require_pow: bool = True
+    genesis_timestamp: int = 1_000_000_000
+
+    @staticmethod
+    def regtest() -> "ChainParams":
+        return ChainParams(
+            max_target=REGTEST_TARGET,
+            retarget_window=2**31,  # never retarget
+            require_pow=True,
+        )
+
+
+def make_genesis(params: ChainParams) -> Block:
+    """A deterministic genesis block whose coinbase is unspendable."""
+    coinbase = Transaction(
+        vin=[TxIn(OutPoint.null(), Script())],
+        vout=[TxOut(INITIAL_SUBSIDY, Script())],
+    )
+    bits = target_to_bits(params.max_target)
+    block = build_block(
+        prev_hash=b"\x00" * 32,
+        txs=[coinbase],
+        timestamp=params.genesis_timestamp,
+        bits=bits,
+    )
+    if params.require_pow:
+        nonce = 0
+        while not block.header.meets_target():
+            nonce += 1
+            block = Block(block.header.with_nonce(nonce), block.txs)
+    return block
+
+
+@dataclass
+class BlockIndexEntry:
+    """Metadata for one block in the tree."""
+
+    block: Block
+    height: int
+    chain_work: int
+    prev: bytes | None
+    invalid: bool = False
+
+
+@dataclass
+class _ConnectedState:
+    """Per-connected-block bookkeeping for disconnects."""
+
+    undo: BlockUndo
+    txids: list[bytes] = field(default_factory=list)
+
+
+class Blockchain:
+    """The full node state: block tree, active chain, UTXO set, tx index."""
+
+    def __init__(self, params: ChainParams | None = None):
+        self.params = params or ChainParams.regtest()
+        self.genesis = make_genesis(self.params)
+        genesis_hash = self.genesis.hash
+        self._index: dict[bytes, BlockIndexEntry] = {
+            genesis_hash: BlockIndexEntry(
+                block=self.genesis,
+                height=0,
+                chain_work=block_work(self.genesis.header.bits),
+                prev=None,
+            )
+        }
+        self._active: list[bytes] = [genesis_hash]
+        self.utxos = UTXOSet()
+        self._connected: dict[bytes, _ConnectedState] = {}
+        # txid -> hash of the active-chain block containing it.
+        self._tx_index: dict[bytes, bytes] = {}
+        # outpoint -> txid of the active-chain transaction that spent it.
+        self._spenders: dict[OutPoint, bytes] = {}
+        self._connect(self._index[genesis_hash])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def tip(self) -> BlockIndexEntry:
+        return self._index[self._active[-1]]
+
+    @property
+    def height(self) -> int:
+        return len(self._active) - 1
+
+    def block_at(self, height: int) -> Block:
+        return self._index[self._active[height]].block
+
+    def entry(self, block_hash: bytes) -> BlockIndexEntry | None:
+        return self._index.get(block_hash)
+
+    def has_block(self, block_hash: bytes) -> bool:
+        return block_hash in self._index
+
+    def in_active_chain(self, block_hash: bytes) -> bool:
+        entry = self._index.get(block_hash)
+        return (
+            entry is not None
+            and entry.height < len(self._active)
+            and self._active[entry.height] == block_hash
+        )
+
+    def get_transaction(self, txid: bytes) -> tuple[Transaction, int] | None:
+        """Find a confirmed transaction; returns (tx, height) or None."""
+        block_hash = self._tx_index.get(txid)
+        if block_hash is None:
+            return None
+        entry = self._index[block_hash]
+        for tx in entry.block.txs:
+            if tx.txid == txid:
+                return tx, entry.height
+        return None  # pragma: no cover - index is kept consistent
+
+    def confirmations(self, txid: bytes) -> int:
+        """How many blocks deep a transaction is (0 = unconfirmed)."""
+        found = self.get_transaction(txid)
+        if found is None:
+            return 0
+        _, height = found
+        return self.height - height + 1
+
+    def is_spent(self, outpoint: OutPoint) -> bool:
+        """Has this outpoint been consumed on the active chain?
+
+        Paper §5: "To show that a txout is spent, one can point to an earlier
+        transaction that spent it."  This is the oracle behind the
+        ``spent(txid.n)`` condition.
+        """
+        return outpoint in self._spenders
+
+    def spender_of(self, outpoint: OutPoint) -> bytes | None:
+        """The txid that spent ``outpoint`` on the active chain, if any."""
+        return self._spenders.get(outpoint)
+
+    def median_time_past(self, block_hash: bytes | None = None) -> int:
+        """Median of the last 11 block timestamps (the consensus clock)."""
+        entry = self._index[block_hash] if block_hash else self.tip
+        times: list[int] = []
+        current: BlockIndexEntry | None = entry
+        while current is not None and len(times) < MEDIAN_TIME_SPAN:
+            times.append(current.block.header.timestamp)
+            current = self._index.get(current.prev) if current.prev else None
+        times.sort()
+        return times[len(times) // 2]
+
+    def required_bits(self, prev_hash: bytes) -> int:
+        """The compact target the block after ``prev_hash`` must meet."""
+        prev = self._index[prev_hash]
+        next_height = prev.height + 1
+        window = self.params.retarget_window
+        if next_height % window != 0:
+            return prev.block.header.bits
+        # Walk back to the first block of the closing period.
+        first = prev
+        for _ in range(window - 1):
+            assert first.prev is not None
+            first = self._index[first.prev]
+        new_target = next_target(
+            bits_to_target(prev.block.header.bits),
+            first.block.header.timestamp,
+            prev.block.header.timestamp,
+            max_target=self.params.max_target,
+            window=window,
+            interval=self.params.block_interval,
+        )
+        return target_to_bits(new_target)
+
+    # ------------------------------------------------------------------
+    # Block acceptance
+    # ------------------------------------------------------------------
+
+    def add_block(self, block: Block) -> bool:
+        """Validate and store a block; reorganize if its branch has most work.
+
+        Returns True if the block is now on the active chain.
+        Raises :class:`ValidationError` for malformed or rule-breaking blocks.
+        """
+        block_hash = block.hash
+        if block_hash in self._index:
+            return self.in_active_chain(block_hash)
+        prev = self._index.get(block.header.prev_hash)
+        if prev is None:
+            raise ValidationError("orphan block: unknown parent")
+        if prev.invalid:
+            raise ValidationError("parent block is invalid")
+
+        block.validate_structure()
+        expected_bits = self.required_bits(block.header.prev_hash)
+        if block.header.bits != expected_bits:
+            raise ValidationError("incorrect difficulty bits")
+        if self.params.require_pow and not block.header.meets_target():
+            raise ValidationError("insufficient proof of work")
+        if block.header.timestamp <= self.median_time_past(block.header.prev_hash):
+            raise ValidationError("timestamp not after median time past")
+
+        entry = BlockIndexEntry(
+            block=block,
+            height=prev.height + 1,
+            chain_work=prev.chain_work + block_work(block.header.bits),
+            prev=block.header.prev_hash,
+        )
+        self._index[block_hash] = entry
+
+        if entry.chain_work > self.tip.chain_work:
+            self._reorganize_to(entry)
+        return self.in_active_chain(block_hash)
+
+    def _reorganize_to(self, new_tip: BlockIndexEntry) -> None:
+        """Switch the active chain to end at ``new_tip``.
+
+        Finds the fork point, disconnects the old branch, and connects the
+        new branch; if a new-branch block fails contextual validation the
+        whole reorg is rolled back and that block is marked invalid.
+        """
+        # Collect the new branch back to a block on the active chain.
+        branch: list[BlockIndexEntry] = []
+        cursor: BlockIndexEntry | None = new_tip
+        while cursor is not None and not self.in_active_chain(cursor.block.hash):
+            branch.append(cursor)
+            cursor = self._index.get(cursor.prev) if cursor.prev else None
+        assert cursor is not None, "branches always join at genesis"
+        fork_height = cursor.height
+        branch.reverse()
+
+        disconnected: list[BlockIndexEntry] = []
+        while self.height > fork_height:
+            disconnected.append(self._disconnect_tip())
+
+        connected: list[BlockIndexEntry] = []
+        try:
+            for entry in branch:
+                self._connect(entry)
+                connected.append(entry)
+        except ValidationError:
+            # Roll back: disconnect what we connected, restore the old chain.
+            bad = branch[len(connected)]
+            bad.invalid = True
+            for _ in connected:
+                self._disconnect_tip()
+            for entry in reversed(disconnected):
+                self._connect(entry)
+            raise
+
+    def _connect(self, entry: BlockIndexEntry) -> None:
+        """Attach a block to the active tip, updating UTXOs and indexes."""
+        block = entry.block
+        height = entry.height
+        if height > 0:
+            from repro.bitcoin.validation import is_final
+
+            fees = 0
+            for tx in block.txs[1:]:
+                if not is_final(tx, height, block.header.timestamp):
+                    raise ValidationError("non-final transaction in block")
+                result = check_tx_inputs(tx, self.utxos, height)
+                fees += result.fee
+            coinbase_value = block.txs[0].total_output_value()
+            if coinbase_value > block_subsidy(height) + fees:
+                raise ValidationError("coinbase pays more than subsidy plus fees")
+        undo = self.utxos.apply_block_txs(list(block.txs), height)
+        state = _ConnectedState(undo=undo)
+        for tx in block.txs:
+            self._tx_index[tx.txid] = block.hash
+            state.txids.append(tx.txid)
+            if not tx.is_coinbase:
+                for txin in tx.vin:
+                    self._spenders[txin.prevout] = tx.txid
+        self._connected[block.hash] = state
+        if height > 0:
+            self._active.append(block.hash)
+        # height == 0 is genesis, already in _active at construction.
+
+    def _disconnect_tip(self) -> BlockIndexEntry:
+        """Detach the tip block, restoring UTXOs and indexes."""
+        tip_hash = self._active.pop()
+        entry = self._index[tip_hash]
+        state = self._connected.pop(tip_hash)
+        self.utxos.undo_block(state.undo)
+        for txid in state.txids:
+            self._tx_index.pop(txid, None)
+        for tx in entry.block.txs:
+            if not tx.is_coinbase:
+                for txin in tx.vin:
+                    self._spenders.pop(txin.prevout, None)
+        return entry
+
+
+def block_subsidy(height: int) -> int:
+    """The new-coin reward at a given height (halves every 210k blocks)."""
+    halvings = height // HALVING_INTERVAL
+    if halvings >= 64:
+        return 0
+    return INITIAL_SUBSIDY >> halvings

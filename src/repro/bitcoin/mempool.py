@@ -1,0 +1,158 @@
+"""The memory pool: relay policy and pending transactions (paper §3.3).
+
+"A very small number of script schemas are deemed to be *standard*, and most
+Bitcoin nodes will not forward transactions that use non-standard scripts.
+Thus, while non-standard scripts are legal when they appear in blocks,
+participants cannot get non-standard scripts into a block unless they
+control a miner."  The mempool is where that policy lives: consensus
+validity is necessary but not sufficient for relay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.standard import ScriptType, classify, is_standard
+from repro.bitcoin.transaction import OutPoint, Transaction
+from repro.bitcoin.validation import ValidationError, check_tx_inputs
+
+DEFAULT_MIN_FEE_RATE = 1  # satoshis per byte
+DUST_THRESHOLD = 546  # satoshis; outputs below this are not relayed
+
+
+class MempoolError(Exception):
+    """A transaction was refused by mempool policy or validity checks."""
+
+
+@dataclass
+class MempoolEntry:
+    tx: Transaction
+    fee: int
+    size: int
+
+    @property
+    def fee_rate(self) -> float:
+        return self.fee / self.size
+
+
+class Mempool:
+    """Pending transactions awaiting inclusion in a block."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        min_fee_rate: int = DEFAULT_MIN_FEE_RATE,
+        require_standard: bool = True,
+    ):
+        self.chain = chain
+        self.min_fee_rate = min_fee_rate
+        self.require_standard = require_standard
+        self._entries: dict[bytes, MempoolEntry] = {}
+        self._spent: dict[OutPoint, bytes] = {}  # outpoint -> spending txid
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, txid: bytes) -> bool:
+        return txid in self._entries
+
+    def get(self, txid: bytes) -> Transaction | None:
+        entry = self._entries.get(txid)
+        return entry.tx if entry else None
+
+    def transactions(self) -> list[MempoolEntry]:
+        """Entries ordered by descending fee rate (miner's preference)."""
+        return sorted(
+            self._entries.values(), key=lambda e: e.fee_rate, reverse=True
+        )
+
+    def accept(self, tx: Transaction) -> MempoolEntry:
+        """Validate ``tx`` against the chain tip + pool and admit it.
+
+        Raises :class:`MempoolError` with a reason when refused.
+        """
+        txid = tx.txid
+        if txid in self._entries:
+            raise MempoolError("transaction already in mempool")
+        if tx.is_coinbase:
+            raise MempoolError("coinbase transactions cannot be relayed")
+        if self.chain.get_transaction(txid) is not None:
+            raise MempoolError("transaction already confirmed")
+
+        for txin in tx.vin:
+            if txin.prevout in self._spent:
+                raise MempoolError(
+                    f"input {txin.prevout} double-spends a mempool transaction"
+                )
+            # Inputs may come from the chain; spending other mempool outputs
+            # (chained unconfirmed transactions) is deliberately not
+            # supported: Typecoin's latency story (§3.2) assumes each
+            # transaction confirms independently.
+
+        if self.require_standard:
+            self._check_standard(tx)
+
+        from repro.bitcoin.validation import is_final
+
+        if not is_final(
+            tx, self.chain.height + 1, self.chain.median_time_past()
+        ):
+            raise MempoolError("transaction is not final (locktime)")
+
+        try:
+            validity = check_tx_inputs(tx, self.chain.utxos, self.chain.height + 1)
+        except ValidationError as exc:
+            raise MempoolError(str(exc)) from exc
+
+        size = len(tx.serialize())
+        if validity.fee < self.min_fee_rate * size:
+            raise MempoolError(
+                f"fee {validity.fee} below minimum rate for {size} bytes"
+            )
+
+        entry = MempoolEntry(tx=tx, fee=validity.fee, size=size)
+        self._entries[txid] = entry
+        for txin in tx.vin:
+            self._spent[txin.prevout] = txid
+        return entry
+
+    def _check_standard(self, tx: Transaction) -> None:
+        for index, out in enumerate(tx.vout):
+            classified = classify(out.script_pubkey)
+            if classified.type is ScriptType.NONSTANDARD:
+                raise MempoolError(f"output {index} uses a non-standard script")
+            if (
+                classified.type is not ScriptType.OP_RETURN
+                and out.value < DUST_THRESHOLD
+            ):
+                raise MempoolError(f"output {index} is dust ({out.value} sat)")
+
+    def remove(self, txid: bytes) -> None:
+        entry = self._entries.pop(txid, None)
+        if entry is None:
+            return
+        for txin in entry.tx.vin:
+            self._spent.pop(txin.prevout, None)
+
+    def remove_confirmed(self, txs: list[Transaction]) -> None:
+        """Drop transactions (and conflicts) once a block confirms them."""
+        for tx in txs:
+            self.remove(tx.txid)
+            # Also evict anything that conflicts with a confirmed spend.
+            for txin in tx.vin:
+                conflicting = self._spent.get(txin.prevout)
+                if conflicting is not None:
+                    self.remove(conflicting)
+
+    def revalidate(self) -> list[Transaction]:
+        """Re-check every entry after a reorg; returns evicted transactions."""
+        evicted = []
+        for txid in list(self._entries):
+            entry = self._entries[txid]
+            try:
+                check_tx_inputs(entry.tx, self.chain.utxos, self.chain.height + 1)
+            except ValidationError:
+                self.remove(txid)
+                evicted.append(entry.tx)
+        return evicted

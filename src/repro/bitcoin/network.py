@@ -1,0 +1,371 @@
+"""A discrete-event peer-to-peer network and mining simulator.
+
+The paper's security story (§1, items 3–6) is statistical: block discovery
+is a Poisson process split between honest miners and an attacker, blocks
+propagate with latency, and a transaction is "confirmed" once enough blocks
+bury it that the attacker's chance of out-racing the network is negligible.
+This module provides:
+
+* :class:`Simulation` — a seeded event queue with simulated time;
+* :class:`Node` — a full node (chain + mempool + orphan pool) that relays;
+* :class:`PoissonMiner` — a miner finding blocks at rate hashrate/work;
+* :func:`nakamoto_reversal_probability` — the analytic curve of Nakamoto's
+  whitepaper, which experiment E1 compares the simulator against;
+* :func:`simulate_race` — the attacker-vs-network block race.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bitcoin.block import Block
+from repro.bitcoin.chain import Blockchain, ChainParams
+from repro.bitcoin.mempool import Mempool, MempoolError
+from repro.bitcoin.miner import Miner
+from repro.bitcoin.pow import block_work
+from repro.bitcoin.transaction import Transaction
+from repro.bitcoin.validation import ValidationError
+from repro.bitcoin.wallet import Wallet
+
+
+class Simulation:
+    """A seeded discrete-event scheduler with simulated seconds."""
+
+    def __init__(self, seed: int = 0):
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, action))
+
+    def run_until(self, end_time: float) -> None:
+        while self._queue and self._queue[0][0] <= end_time:
+            time, _, action = heapq.heappop(self._queue)
+            self.now = time
+            action()
+        self.now = max(self.now, end_time)
+
+    def run_while(self, predicate: Callable[[], bool], limit: float) -> None:
+        """Process events while ``predicate()`` holds, up to ``limit`` time."""
+        while self._queue and predicate() and self._queue[0][0] <= limit:
+            time, _, action = heapq.heappop(self._queue)
+            self.now = time
+            action()
+
+
+@dataclass
+class Node:
+    """A full node participating in block and transaction gossip."""
+
+    name: str
+    sim: Simulation
+    params: ChainParams
+    latency: float = 2.0  # mean one-hop propagation delay, seconds
+    chain: Blockchain = field(init=False)
+    mempool: Mempool = field(init=False)
+    peers: list["Node"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.chain = Blockchain(self.params)
+        self.mempool = Mempool(self.chain)
+        self._orphans: dict[bytes, list[Block]] = {}
+        self._seen_blocks: set[bytes] = {self.chain.genesis.hash}
+        self._seen_txs: set[bytes] = set()
+
+    def connect(self, other: "Node") -> None:
+        if other not in self.peers:
+            self.peers.append(other)
+        if self not in other.peers:
+            other.peers.append(self)
+
+    def _hop_delay(self) -> float:
+        # Exponential jitter around the configured mean.
+        return self.sim.rng.expovariate(1.0 / self.latency)
+
+    def submit_block(self, block: Block) -> None:
+        """Accept a locally-mined or received block, then relay it."""
+        if block.hash in self._seen_blocks:
+            return
+        self._seen_blocks.add(block.hash)
+        if not self.chain.has_block(block.header.prev_hash):
+            self._orphans.setdefault(block.header.prev_hash, []).append(block)
+            return
+        try:
+            self.chain.add_block(block)
+        except ValidationError:
+            return
+        self.mempool.remove_confirmed(list(block.txs))
+        self.mempool.revalidate()
+        self._relay_block(block)
+        # Adopt any orphans waiting on this block.
+        for child in self._orphans.pop(block.hash, []):
+            self._seen_blocks.discard(child.hash)
+            self.submit_block(child)
+
+    def _relay_block(self, block: Block) -> None:
+        for peer in self.peers:
+            self.sim.schedule(self._hop_delay(), lambda p=peer: p.submit_block(block))
+
+    def submit_transaction(self, tx: Transaction) -> bool:
+        if tx.txid in self._seen_txs:
+            return False
+        self._seen_txs.add(tx.txid)
+        try:
+            self.mempool.accept(tx)
+        except MempoolError:
+            return False
+        for peer in self.peers:
+            self.sim.schedule(
+                self._hop_delay(), lambda p=peer: p.submit_transaction(tx)
+            )
+        return True
+
+
+class PoissonMiner:
+    """A miner that finds blocks as a Poisson process.
+
+    Rather than grinding real nonces, block discovery times are sampled
+    exponentially with mean ``block_work(bits) / hashrate`` — statistically
+    the same process, fast enough to simulate weeks of network time.  The
+    memorylessness of the exponential justifies re-sampling on every tip
+    change (paper §1 item 4: miners always restart on the newest block).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        hashrate: float,
+        miner_id: int,
+        enabled: bool = True,
+    ):
+        self.node = node
+        self.hashrate = hashrate
+        self.miner_id = miner_id
+        self.enabled = enabled
+        self.blocks_found = 0
+        key = Wallet.from_seed(b"miner" + miner_id.to_bytes(4, "big"))
+        self._miner = Miner(node.chain, key.key_hash)
+        self._extra_nonce = 0
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _mean_time(self) -> float:
+        bits = self.node.chain.required_bits(self.node.chain.tip.block.hash)
+        return block_work(bits) / self.hashrate
+
+    def _schedule_next(self) -> None:
+        delay = self.node.sim.rng.expovariate(1.0 / self._mean_time())
+        self.node.sim.schedule(delay, self._on_found)
+
+    def _on_found(self) -> None:
+        if self.enabled:
+            self._extra_nonce += 1
+            # Anchor simulated seconds at the genesis timestamp so header
+            # times track the simulation clock (the retarget rule reads them).
+            wall = self.node.chain.genesis.header.timestamp + int(self.node.sim.now)
+            timestamp = max(wall, self.node.chain.median_time_past() + 1)
+            block = self._miner.assemble(
+                self.node.mempool, timestamp=timestamp, extra_nonce=self._extra_nonce
+            )
+            self.blocks_found += 1
+            self.node.submit_block(block)
+        self._schedule_next()
+
+
+def build_network(
+    sim: Simulation,
+    node_count: int,
+    params: ChainParams | None = None,
+    latency: float = 2.0,
+) -> list[Node]:
+    """A ring-plus-chords topology of ``node_count`` full nodes."""
+    params = params or ChainParams(
+        max_target=2**252, retarget_window=2**31, require_pow=False
+    )
+    nodes = [Node(f"node{i}", sim, params, latency) for i in range(node_count)]
+    for i, node in enumerate(nodes):
+        node.connect(nodes[(i + 1) % node_count])
+        if node_count > 4:
+            node.connect(nodes[(i + node_count // 2) % node_count])
+    return nodes
+
+
+# ----------------------------------------------------------------------
+# The attacker race (paper §1 item 5, experiment E1)
+# ----------------------------------------------------------------------
+
+
+def nakamoto_reversal_probability(q: float, z: int) -> float:
+    """Nakamoto's analytic probability that an attacker with hashpower
+    fraction ``q`` ever reverses a transaction buried ``z`` blocks deep.
+
+    P = 1 - Σ_{k=0}^{z} e^{-λ} λ^k / k! · (1 - (q/p)^{z-k}),  λ = z·q/p.
+    """
+    if not 0 <= q < 0.5:
+        raise ValueError("attacker share must be in [0, 0.5)")
+    if z < 0:
+        raise ValueError("depth must be non-negative")
+    if q == 0:
+        return 0.0 if z > 0 else 1.0
+    p = 1.0 - q
+    lam = z * q / p
+    total = 0.0
+    for k in range(z + 1):
+        poisson = math.exp(-lam) * lam**k / math.factorial(k)
+        total += poisson * (1.0 - (q / p) ** (z - k))
+    return 1.0 - total
+
+
+def simulate_race(
+    q: float,
+    z: int,
+    trials: int,
+    rng: random.Random,
+    max_deficit: int = 60,
+) -> float:
+    """Monte-Carlo estimate of the reversal probability.
+
+    Each trial: the attacker pre-mines while the honest network produces the
+    ``z`` confirmation blocks (each new block is the attacker's with
+    probability q), then the remaining race is a biased random walk the
+    attacker wins by ever pulling level — Nakamoto's success criterion,
+    since a tied private chain released strategically out-paces the public
+    one.  A deficit beyond ``max_deficit`` is scored as a loss (the tail is
+    astronomically small).
+    """
+    if q == 0:
+        return 0.0
+    wins = 0
+    for _ in range(trials):
+        # Phase 1: attacker mines privately while z honest blocks appear.
+        attacker = 0
+        honest = 0
+        while honest < z:
+            if rng.random() < q:
+                attacker += 1
+            else:
+                honest += 1
+        deficit = honest - attacker
+        if deficit <= 0:
+            wins += 1
+            continue
+        # Phase 2: gambler's-ruin walk from -deficit toward 0 (a tie).
+        position = -deficit
+        while -max_deficit < position < 0:
+            position += 1 if rng.random() < q else -1
+        if position >= 0:
+            wins += 1
+    return wins / trials
+
+
+def reversal_probability_exact(q: float, z: int, max_lead: int = 400) -> float:
+    """Exact reversal probability under the same model as the simulator.
+
+    The attacker's block count while the honest chain mines its ``z``
+    confirmations is negative-binomially distributed (Nakamoto approximates
+    it with a Poisson); from a deficit d the catch-up probability is
+    (q/p)^d.  Summing gives the exact curve :func:`simulate_race` estimates.
+    """
+    if not 0 <= q < 0.5:
+        raise ValueError("attacker share must be in [0, 0.5)")
+    if q == 0:
+        return 0.0 if z > 0 else 1.0
+    if z == 0:
+        return 1.0
+    p = 1.0 - q
+    ratio = q / p
+    total = 0.0
+    for k in range(z + max_lead):
+        # P(attacker has k blocks when the z-th honest block appears).
+        weight = math.comb(z + k - 1, k) * p**z * q**k
+        catch_up = 1.0 if k >= z else ratio ** (z - k)
+        total += weight * catch_up
+    return total
+
+
+@dataclass
+class RaceOutcome:
+    """Result of one full-simulator double-spend race."""
+
+    attacker_won: bool
+    honest_blocks: int
+    attacker_blocks: int
+    duration: float
+
+
+def simulate_race_full(
+    q: float,
+    z: int,
+    sim_seed: int,
+    horizon_blocks: int = 200,
+) -> RaceOutcome:
+    """One attacker-vs-network race on real chain objects.
+
+    An honest miner (share 1-q) and an attacker (share q) mine from the same
+    genesis; the attacker withholds blocks (its own chain) and wins if its
+    branch ever exceeds the honest branch's work after the honest branch has
+    buried the victim transaction ``z`` deep.  This validates the abstract
+    walk in :func:`simulate_race` against full consensus machinery — when
+    the attacker finally announces its branch, honest nodes *reorganize to
+    it*, demonstrating the state reversal the paper guards against.
+    """
+    sim = Simulation(seed=sim_seed)
+    params = ChainParams(
+        max_target=2**252, retarget_window=2**31, require_pow=False
+    )
+    honest_node = Node("honest", sim, params)
+    attacker_node = Node("attacker", sim, params)
+    # The attacker is *not* connected: it mines in private.  Scale total
+    # hashpower so the network-wide block interval is the canonical 600 s.
+    total_rate = block_work(
+        honest_node.chain.required_bits(honest_node.chain.tip.block.hash)
+    ) / 600.0
+    honest_miner = PoissonMiner(honest_node, total_rate * (1 - q), miner_id=1)
+    attacker_miner = PoissonMiner(attacker_node, total_rate * q, miner_id=2)
+    honest_miner.start()
+    attacker_miner.start()
+
+    def attacker_caught_up() -> bool:
+        # Nakamoto's criterion: a private chain that has pulled *level* wins,
+        # since the attacker releases it the moment it edges ahead.
+        return honest_node.chain.height >= z and (
+            attacker_node.chain.tip.chain_work
+            >= honest_node.chain.tip.chain_work
+        )
+
+    def race_open() -> bool:
+        if honest_node.chain.height >= horizon_blocks:
+            return False
+        return not attacker_caught_up()
+
+    sim.run_while(race_open, limit=1e12)
+    won = attacker_caught_up()
+    if won and (
+        attacker_node.chain.tip.chain_work > honest_node.chain.tip.chain_work
+    ):
+        # Publish the private branch: the honest node reorganizes onto it
+        # (a tie is a win on paper but only a strictly heavier branch
+        # displaces the public chain).
+        branch = []
+        entry = attacker_node.chain.tip
+        while entry.prev is not None:
+            branch.append(entry.block)
+            entry = attacker_node.chain.entry(entry.prev)
+        for block in reversed(branch):
+            honest_node.submit_block(block)
+    return RaceOutcome(
+        attacker_won=won,
+        honest_blocks=honest_node.chain.height,
+        attacker_blocks=attacker_node.chain.height,
+        duration=sim.now,
+    )

@@ -1,0 +1,82 @@
+"""A regtest harness: an instant-mining private network for tests and demos.
+
+Mirrors Bitcoin Core's regtest mode: trivial difficulty, deterministic
+genesis, and helpers to generate blocks to a wallet.  Every Typecoin test
+and example runs on top of this.
+"""
+
+from __future__ import annotations
+
+from repro.bitcoin.block import Block
+from repro.bitcoin.chain import Blockchain, ChainParams
+from repro.bitcoin.mempool import Mempool, MempoolError
+from repro.bitcoin.miner import Miner
+from repro.bitcoin.transaction import Transaction
+from repro.bitcoin.utxo import COINBASE_MATURITY
+from repro.bitcoin.wallet import Wallet
+
+
+class RegtestNetwork:
+    """One node, one chain, instant mining."""
+
+    def __init__(self, min_fee_rate: int = 1, block_time_step: int = 1):
+        self.chain = Blockchain(ChainParams.regtest())
+        self.mempool = Mempool(self.chain, min_fee_rate=min_fee_rate)
+        self.block_time_step = block_time_step
+        self._extra_nonce = 0
+
+    def generate(self, count: int, key_hash: bytes) -> list[Block]:
+        """Mine ``count`` blocks paying their coinbases to ``key_hash``.
+
+        Block timestamps advance by ``block_time_step`` simulated seconds
+        per block (never behind median-time-past), so chain time is a
+        usable clock for ``before(t)`` conditions.
+        """
+        miner = Miner(self.chain, key_hash)
+        blocks = []
+        for _ in range(count):
+            self._extra_nonce += 1
+            timestamp = max(
+                self.chain.median_time_past() + 1,
+                self.chain.tip.block.header.timestamp + self.block_time_step,
+            )
+            blocks.append(
+                miner.mine_block(
+                    self.mempool,
+                    timestamp=timestamp,
+                    extra_nonce=self._extra_nonce,
+                )
+            )
+        return blocks
+
+    def fund_wallet(self, wallet: Wallet, blocks: int = 1) -> None:
+        """Give ``wallet`` spendable coins: mine to it, then mature them."""
+        self.generate(blocks, wallet.key_hash)
+        # Mature the coinbases by mining past the maturity window to a
+        # throwaway key.
+        burn = Wallet.from_seed(b"regtest-burn")
+        self.generate(COINBASE_MATURITY, burn.key_hash)
+
+    def send(self, tx: Transaction) -> bytes:
+        """Submit a transaction to the mempool; returns its txid."""
+        self.mempool.accept(tx)
+        return tx.txid
+
+    def send_raw(self, tx: Transaction) -> bytes:
+        """Miner-assisted submission: bypass relay policy (paper §3.3:
+        non-standard scripts are 'legal when they appear in blocks')."""
+        saved = self.mempool.require_standard
+        self.mempool.require_standard = False
+        try:
+            self.mempool.accept(tx)
+        finally:
+            self.mempool.require_standard = saved
+        return tx.txid
+
+    def confirm(self, blocks: int = 1) -> list[Block]:
+        """Mine blocks (to a throwaway key) so pending transactions confirm."""
+        burn = Wallet.from_seed(b"regtest-burn")
+        return self.generate(blocks, burn.key_hash)
+
+    def confirmations(self, txid: bytes) -> int:
+        return self.chain.confirmations(txid)

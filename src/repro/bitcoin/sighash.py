@@ -1,0 +1,90 @@
+"""Signature hashing (SIGHASH) for transaction signing.
+
+A signature does not cover the raw transaction — scriptSigs are blanked and
+the SIGHASH type selects which inputs/outputs are committed to.  The paper's
+*open transactions* (§7, §8) "are inspired by and generalize Bitcoin's
+SIGHASH rules, which erase parts of a transaction before checking its
+signatures, thereby allowing those parts to be altered."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from repro.bitcoin.script import Script
+from repro.bitcoin.transaction import Transaction, TxIn, TxOut
+from repro.crypto.hashing import sha256d
+
+
+class SigHashType(enum.IntEnum):
+    """Which parts of the transaction a signature commits to."""
+
+    ALL = 0x01
+    NONE = 0x02
+    SINGLE = 0x03
+    ANYONECANPAY = 0x80
+
+    @staticmethod
+    def base(hash_type: int) -> "SigHashType":
+        return SigHashType(hash_type & 0x1F)
+
+    @staticmethod
+    def anyone_can_pay(hash_type: int) -> bool:
+        return bool(hash_type & SigHashType.ANYONECANPAY)
+
+
+# Returned by SIGHASH_SINGLE when the input index has no matching output —
+# a historical Bitcoin bug we reproduce for fidelity (signing hashes the
+# integer 1 instead of failing).
+_SINGLE_BUG_DIGEST = (1).to_bytes(32, "little")
+
+
+def signature_hash(
+    tx: Transaction,
+    input_index: int,
+    script_code: Script,
+    hash_type: int,
+) -> bytes:
+    """The digest that input ``input_index`` signs under ``hash_type``.
+
+    ``script_code`` is the scriptPubKey of the output being spent (standard
+    schemas only; we do not implement OP_CODESEPARATOR subtleties).
+    """
+    if input_index >= len(tx.vin):
+        raise IndexError("input index out of range")
+
+    base = SigHashType.base(hash_type)
+    anyonecanpay = SigHashType.anyone_can_pay(hash_type)
+
+    if base == SigHashType.SINGLE and input_index >= len(tx.vout):
+        return _SINGLE_BUG_DIGEST
+
+    # Blank all scriptSigs; the signed input carries the script code.
+    vin: list[TxIn] = []
+    for i, txin in enumerate(tx.vin):
+        if anyonecanpay and i != input_index:
+            continue
+        if i == input_index:
+            vin.append(replace(txin, script_sig=script_code))
+        else:
+            sequence = txin.sequence
+            if base in (SigHashType.NONE, SigHashType.SINGLE):
+                sequence = 0
+            vin.append(replace(txin, script_sig=Script(), sequence=sequence))
+
+    if base == SigHashType.NONE:
+        vout: list[TxOut] = []
+    elif base == SigHashType.SINGLE:
+        # Keep only outputs up to the signed index; earlier ones are blanked
+        # (value -1, empty script) so they can be changed freely.
+        vout = [
+            TxOut(-1, Script()) for _ in range(input_index)
+        ] + [tx.vout[input_index]]
+    else:
+        vout = list(tx.vout)
+
+    preimage = Transaction(
+        vin, vout, version=tx.version, locktime=tx.locktime
+    ).serialize() + hash_type.to_bytes(4, "little")
+    return sha256d(preimage)

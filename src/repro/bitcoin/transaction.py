@@ -1,0 +1,185 @@
+"""Bitcoin transactions: inputs, outputs, serialization, txids (paper §2).
+
+A transaction consumes specific prior transaction-outputs and creates new
+ones.  The txid is the double-SHA-256 of the serialized transaction,
+displayed byte-reversed as Bitcoin convention dictates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+
+from repro.bitcoin.script import Script
+from repro.crypto.hashing import sha256d
+
+COIN = 100_000_000  # satoshis per bitcoin
+MAX_MONEY = 21_000_000 * COIN
+SEQUENCE_FINAL = 0xFFFFFFFF
+
+
+def varint(n: int) -> bytes:
+    """Bitcoin's variable-length integer encoding."""
+    if n < 0xFD:
+        return bytes([n])
+    if n <= 0xFFFF:
+        return b"\xfd" + n.to_bytes(2, "little")
+    if n <= 0xFFFFFFFF:
+        return b"\xfe" + n.to_bytes(4, "little")
+    return b"\xff" + n.to_bytes(8, "little")
+
+
+def read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Read a varint at ``offset``; returns (value, new_offset)."""
+    prefix = data[offset]
+    if prefix < 0xFD:
+        return prefix, offset + 1
+    if prefix == 0xFD:
+        return int.from_bytes(data[offset + 1 : offset + 3], "little"), offset + 3
+    if prefix == 0xFE:
+        return int.from_bytes(data[offset + 1 : offset + 5], "little"), offset + 5
+    return int.from_bytes(data[offset + 1 : offset + 9], "little"), offset + 9
+
+
+@dataclass(frozen=True, order=True)
+class OutPoint:
+    """A reference to the ``index``-th output of transaction ``txid``."""
+
+    txid: bytes
+    index: int
+
+    NULL_TXID = b"\x00" * 32
+    COINBASE_INDEX = 0xFFFFFFFF
+
+    @property
+    def is_null(self) -> bool:
+        return self.txid == self.NULL_TXID and self.index == self.COINBASE_INDEX
+
+    @staticmethod
+    def null() -> "OutPoint":
+        return OutPoint(OutPoint.NULL_TXID, OutPoint.COINBASE_INDEX)
+
+    def serialize(self) -> bytes:
+        return self.txid + self.index.to_bytes(4, "little")
+
+    def __str__(self) -> str:
+        return f"{self.txid[::-1].hex()}:{self.index}"
+
+
+@dataclass(frozen=True)
+class TxIn:
+    """A transaction input: the outpoint it spends plus the unlocking script."""
+
+    prevout: OutPoint
+    script_sig: Script = field(default_factory=Script)
+    sequence: int = SEQUENCE_FINAL
+
+    def serialize(self) -> bytes:
+        sig = self.script_sig.serialize()
+        return (
+            self.prevout.serialize()
+            + varint(len(sig))
+            + sig
+            + self.sequence.to_bytes(4, "little")
+        )
+
+
+@dataclass(frozen=True)
+class TxOut:
+    """A transaction output: an amount in satoshis and a locking script."""
+
+    value: int
+    script_pubkey: Script
+
+    def serialize(self) -> bytes:
+        spk = self.script_pubkey.serialize()
+        return self.value.to_bytes(8, "little", signed=True) + varint(len(spk)) + spk
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable Bitcoin transaction."""
+
+    vin: tuple[TxIn, ...]
+    vout: tuple[TxOut, ...]
+    version: int = 1
+    locktime: int = 0
+
+    def __init__(
+        self,
+        vin,
+        vout,
+        version: int = 1,
+        locktime: int = 0,
+    ):
+        object.__setattr__(self, "vin", tuple(vin))
+        object.__setattr__(self, "vout", tuple(vout))
+        object.__setattr__(self, "version", version)
+        object.__setattr__(self, "locktime", locktime)
+
+    def serialize(self) -> bytes:
+        out = bytearray(self.version.to_bytes(4, "little"))
+        out += varint(len(self.vin))
+        for txin in self.vin:
+            out += txin.serialize()
+        out += varint(len(self.vout))
+        for txout in self.vout:
+            out += txout.serialize()
+        out += self.locktime.to_bytes(4, "little")
+        return bytes(out)
+
+    @staticmethod
+    def parse(data: bytes) -> "Transaction":
+        version = int.from_bytes(data[0:4], "little")
+        n_in, offset = read_varint(data, 4)
+        vin = []
+        for _ in range(n_in):
+            txid = data[offset : offset + 32]
+            index = int.from_bytes(data[offset + 32 : offset + 36], "little")
+            offset += 36
+            script_len, offset = read_varint(data, offset)
+            script = Script.parse(data[offset : offset + script_len])
+            offset += script_len
+            sequence = int.from_bytes(data[offset : offset + 4], "little")
+            offset += 4
+            vin.append(TxIn(OutPoint(txid, index), script, sequence))
+        n_out, offset = read_varint(data, offset)
+        vout = []
+        for _ in range(n_out):
+            value = int.from_bytes(data[offset : offset + 8], "little", signed=True)
+            offset += 8
+            script_len, offset = read_varint(data, offset)
+            script = Script.parse(data[offset : offset + script_len])
+            offset += script_len
+            vout.append(TxOut(value, script))
+        locktime = int.from_bytes(data[offset : offset + 4], "little")
+        return Transaction(vin, vout, version=version, locktime=locktime)
+
+    @cached_property
+    def txid(self) -> bytes:
+        """Internal byte order (as used in outpoints and merkle trees)."""
+        return sha256d(self.serialize())
+
+    @property
+    def txid_hex(self) -> str:
+        """Display byte order (reversed), as block explorers show it."""
+        return self.txid[::-1].hex()
+
+    @property
+    def is_coinbase(self) -> bool:
+        return len(self.vin) == 1 and self.vin[0].prevout.is_null
+
+    def total_output_value(self) -> int:
+        return sum(out.value for out in self.vout)
+
+    def outpoint(self, index: int) -> OutPoint:
+        """The outpoint referring to this transaction's ``index``-th output."""
+        if not 0 <= index < len(self.vout):
+            raise IndexError("output index out of range")
+        return OutPoint(self.txid, index)
+
+    def with_input_script(self, index: int, script: Script) -> "Transaction":
+        """A copy with input ``index``'s scriptSig replaced (for signing)."""
+        vin = list(self.vin)
+        vin[index] = replace(vin[index], script_sig=script)
+        return Transaction(vin, self.vout, version=self.version, locktime=self.locktime)

@@ -1,0 +1,129 @@
+"""The unspent-txout table (paper §3.3).
+
+"Any Bitcoin node that verifies transactions' validity must be able to tell
+whether a particular txout has been spent already, and this requires
+maintaining a table of all unspent txouts."  The table's size — and the
+permanent deadweight caused by unspendable metadata outputs — is the reason
+Typecoin embeds metadata in spendable 1-of-2 multisig outputs.  Experiment
+E4 measures exactly this, so the set tracks enough metrics to report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitcoin.standard import ScriptType, classify
+from repro.bitcoin.transaction import OutPoint, Transaction, TxOut
+
+COINBASE_MATURITY = 100
+
+
+@dataclass(frozen=True)
+class UTXOEntry:
+    """A single unspent output plus the context needed to validate spends."""
+
+    output: TxOut
+    height: int
+    is_coinbase: bool
+
+    def serialized_size(self) -> int:
+        """Approximate in-table footprint: outpoint + entry, in bytes."""
+        return 36 + 8 + 4 + 1 + len(self.output.script_pubkey.serialize())
+
+
+@dataclass
+class SpentInfo:
+    """Undo record: what an input removed (so reorgs can restore it)."""
+
+    outpoint: OutPoint
+    entry: UTXOEntry
+
+
+@dataclass
+class BlockUndo:
+    """Everything needed to disconnect one block from the UTXO set."""
+
+    spent: list[SpentInfo] = field(default_factory=list)
+    created: list[OutPoint] = field(default_factory=list)
+
+
+class UTXOSet:
+    """The set of unspent transaction outputs, with apply/undo semantics."""
+
+    def __init__(self) -> None:
+        self._entries: dict[OutPoint, UTXOEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return outpoint in self._entries
+
+    def get(self, outpoint: OutPoint) -> UTXOEntry | None:
+        return self._entries.get(outpoint)
+
+    def items(self):
+        return self._entries.items()
+
+    def add(self, outpoint: OutPoint, entry: UTXOEntry) -> None:
+        if outpoint in self._entries:
+            raise ValueError(f"duplicate UTXO {outpoint}")
+        self._entries[outpoint] = entry
+
+    def remove(self, outpoint: OutPoint) -> UTXOEntry:
+        try:
+            return self._entries.pop(outpoint)
+        except KeyError:
+            raise KeyError(f"spending unknown or spent txout {outpoint}") from None
+
+    def apply_transaction(
+        self, tx: Transaction, height: int, undo: BlockUndo | None = None
+    ) -> None:
+        """Spend a transaction's inputs and create its outputs."""
+        if not tx.is_coinbase:
+            for txin in tx.vin:
+                entry = self.remove(txin.prevout)
+                if undo is not None:
+                    undo.spent.append(SpentInfo(txin.prevout, entry))
+        for index, output in enumerate(tx.vout):
+            # Provably unspendable outputs never enter the table (this is the
+            # one concession real nodes make to keep the table lean).
+            if classify(output.script_pubkey).type is ScriptType.OP_RETURN:
+                continue
+            outpoint = tx.outpoint(index)
+            self.add(outpoint, UTXOEntry(output, height, tx.is_coinbase))
+            if undo is not None:
+                undo.created.append(outpoint)
+
+    def apply_block_txs(self, txs: list[Transaction], height: int) -> BlockUndo:
+        """Apply every transaction of a block, returning the undo record."""
+        undo = BlockUndo()
+        for tx in txs:
+            self.apply_transaction(tx, height, undo)
+        return undo
+
+    def undo_block(self, undo: BlockUndo) -> None:
+        """Disconnect a block: delete created outputs, restore spent ones."""
+        for outpoint in reversed(undo.created):
+            self._entries.pop(outpoint, None)
+        for spent in reversed(undo.spent):
+            self._entries[spent.outpoint] = spent.entry
+
+    def total_value(self) -> int:
+        return sum(e.output.value for e in self._entries.values())
+
+    def serialized_size(self) -> int:
+        """Total table footprint in bytes (experiment E4's metric)."""
+        return sum(e.serialized_size() for e in self._entries.values())
+
+    def count_by_type(self) -> dict[ScriptType, int]:
+        """How many table entries each script schema accounts for."""
+        counts: dict[ScriptType, int] = {}
+        for entry in self._entries.values():
+            script_type = classify(entry.output.script_pubkey).type
+            counts[script_type] = counts.get(script_type, 0) + 1
+        return counts
+
+    def snapshot(self) -> dict[OutPoint, UTXOEntry]:
+        """A shallow copy of the table (entries are immutable)."""
+        return dict(self._entries)

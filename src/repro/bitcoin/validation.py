@@ -1,0 +1,146 @@
+"""Transaction validity: the four rules of paper §2.
+
+"In order for a transaction to be valid (a prerequisite for inclusion in the
+blockchain):
+
+1. The sum of the outputs must equal the sum of the inputs (minus a
+   transaction fee ...).
+2. Each input amount must be equal to the output amount it identifies.
+3. All the inputs must identify distinct unspent outputs.
+4. All of the inputs' digital signatures must be valid signatures of the
+   full transaction for the public key of the output being spent."
+
+Rule 2 is how Bitcoin's ledger model works by construction (an input *is*
+the whole prior output); rules 1, 3, 4 are checked here against a UTXO view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitcoin.script import execute_script
+from repro.bitcoin.sighash import signature_hash
+from repro.bitcoin.transaction import MAX_MONEY, Transaction
+from repro.bitcoin.utxo import COINBASE_MATURITY, UTXOSet
+from repro.crypto.ecdsa import Signature, verify as ecdsa_verify
+from repro.crypto.secp256k1 import Point
+
+
+class ValidationError(Exception):
+    """A transaction or block violates a consensus rule."""
+
+
+LOCKTIME_THRESHOLD = 500_000_000  # below: block height; above: unix time
+
+
+def is_final(tx: Transaction, height: int, block_time: int) -> bool:
+    """Is the transaction final (includable) at this height/time?
+
+    nLockTime semantics: a transaction with ``locktime != 0`` may not enter
+    a block until the lock expires — ``locktime < height`` for small values,
+    ``locktime < block_time`` for timestamps — unless every input opts out
+    with a final sequence number.  This is the native Bitcoin mechanism for
+    contracts "that can be reversed if not completed by a deadline" that
+    the paper's §8 contrasts with Typecoin's escrow approach.
+    """
+    if tx.locktime == 0:
+        return True
+    from repro.bitcoin.transaction import SEQUENCE_FINAL
+
+    if all(txin.sequence == SEQUENCE_FINAL for txin in tx.vin):
+        return True
+    cutoff = height if tx.locktime < LOCKTIME_THRESHOLD else block_time
+    return tx.locktime < cutoff
+
+
+@dataclass(frozen=True)
+class TxValidity:
+    """Outcome of full input validation: the fee the transaction pays."""
+
+    fee: int
+
+
+def check_transaction(tx: Transaction) -> None:
+    """Context-free structural checks (no UTXO view needed)."""
+    if not tx.vin:
+        raise ValidationError("transaction has no inputs")
+    if not tx.vout:
+        raise ValidationError("transaction has no outputs")
+    total = 0
+    for out in tx.vout:
+        if out.value < 0:
+            raise ValidationError("negative output value")
+        if out.value > MAX_MONEY:
+            raise ValidationError("output value exceeds max money")
+        total += out.value
+        if total > MAX_MONEY:
+            raise ValidationError("total output value exceeds max money")
+    # Rule 3, within-transaction half: inputs must be distinct.
+    prevouts = [txin.prevout for txin in tx.vin]
+    if len(set(prevouts)) != len(prevouts):
+        raise ValidationError("duplicate inputs")
+    if tx.is_coinbase:
+        return
+    for txin in tx.vin:
+        if txin.prevout.is_null:
+            raise ValidationError("null prevout in non-coinbase transaction")
+
+
+def make_sig_checker(tx: Transaction, input_index: int, script_code):
+    """Build the script-engine signature callback for one input.
+
+    The callback receives ``signature || hashtype_byte`` and a pubkey, as
+    Bitcoin scripts push them, computes the corresponding sighash over the
+    *spending* transaction, and verifies with ECDSA.
+    """
+
+    def checker(sig_with_type: bytes, pubkey_bytes: bytes) -> bool:
+        if len(sig_with_type) < 2:
+            return False
+        hash_type = sig_with_type[-1]
+        sig_bytes = sig_with_type[:-1]
+        try:
+            signature = Signature.decode(sig_bytes)
+            pubkey = Point.decode(pubkey_bytes)
+        except ValueError:
+            return False
+        digest = signature_hash(tx, input_index, script_code, hash_type)
+        return ecdsa_verify(pubkey, digest, signature)
+
+    return checker
+
+
+def check_tx_inputs(
+    tx: Transaction,
+    utxos: UTXOSet,
+    height: int,
+    verify_scripts: bool = True,
+) -> TxValidity:
+    """Validate a non-coinbase transaction against a UTXO view.
+
+    Enforces rule 3 (inputs exist and are unspent — being *in* the table is
+    being unspent), rule 4 (scripts/signatures authorize each spend), rule 1
+    (value out ≤ value in, difference is the fee), plus coinbase maturity.
+    """
+    if tx.is_coinbase:
+        raise ValidationError("coinbase cannot be validated as a spend")
+    check_transaction(tx)
+
+    value_in = 0
+    for index, txin in enumerate(tx.vin):
+        entry = utxos.get(txin.prevout)
+        if entry is None:
+            raise ValidationError(f"missing or spent input {txin.prevout}")
+        if entry.is_coinbase and height - entry.height < COINBASE_MATURITY:
+            raise ValidationError("premature spend of coinbase output")
+        value_in += entry.output.value
+        if verify_scripts:
+            script_code = entry.output.script_pubkey
+            checker = make_sig_checker(tx, index, script_code)
+            if not execute_script(txin.script_sig, script_code, checker):
+                raise ValidationError(f"script validation failed on input {index}")
+
+    value_out = tx.total_output_value()
+    if value_out > value_in:
+        raise ValidationError("outputs exceed inputs")
+    return TxValidity(fee=value_in - value_out)

@@ -1,0 +1,508 @@
+"""Batch mode: a credential server amortizing latency and fees (§3.2).
+
+"In batch mode, a trusted third-party maintains a credential server that
+holds Typecoin resources on behalf of other principals.  When principals
+wish to conduct a batch-mode transaction, they notify the server, which
+records the transaction but does not submit it to the network."  On
+withdrawal "the server batches together all the transactions upstream of
+the resource in question, routing that resource to its owner's key and the
+rest back to its own key."
+
+Scope notes (documented in DESIGN.md):
+
+* virtual transactions may not carry local bases or affine grants, and may
+  not use affine ``assert`` — those forms are bound to a specific on-chain
+  transaction, so they must be written through;
+* per §5, "batch-mode servers must write transactions discharging anything
+  other than true through to the blockchain": a virtual proof whose result
+  is conditional raises :class:`WriteThroughRequired`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.bitcoin.transaction import OutPoint, Transaction
+from repro.core.proofs import (
+    decompose_tensor,
+    obligation_lambda,
+    tensor_intro_all,
+)
+from repro.core.transaction import (
+    TypecoinInput,
+    TypecoinOutput,
+    TypecoinTransaction,
+)
+from repro.core.validate import Ledger
+from repro.core.verifier import ClaimBundle, VerificationError, verify_claim
+from repro.core.wallet import TypecoinClient
+from repro.crypto.ecdsa import Signature
+from repro.crypto.hashing import hash160, sha256
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.secp256k1 import Point
+from repro.lf.basis import Basis
+from repro.logic import proofterms as pt
+from repro.logic.checker import CheckerContext, ProofError, infer
+from repro.logic.encoding import _blob, _uint, encode_prop
+from repro.logic.propositions import (
+    IfProp,
+    Lolli,
+    One,
+    Proposition,
+    normalize_prop,
+    props_equal,
+    tensor_all,
+)
+
+
+class BatchError(Exception):
+    """A batch-mode operation was refused."""
+
+
+class WriteThroughRequired(BatchError):
+    """The operation discharges a non-trivial condition (or uses a
+    transaction-bound form) and must go to the blockchain instead."""
+
+
+@dataclass(frozen=True)
+class VirtualOutput:
+    """A resource a virtual transaction creates, and who owns it."""
+
+    prop: Proposition
+    amount: int
+    owner: bytes  # 20-byte principal
+
+
+@dataclass(frozen=True)
+class VirtualTransaction:
+    """A recorded-but-not-submitted transaction (§3.2).
+
+    ``inputs`` name server-held resources by id; the proof must have type
+    A ⊸ B with A the inputs tensor and B the outputs tensor.
+    """
+
+    inputs: tuple[int, ...]
+    outputs: tuple[VirtualOutput, ...]
+    proof: pt.ProofTerm
+
+    def __init__(self, inputs, outputs, proof):
+        object.__setattr__(self, "inputs", tuple(inputs))
+        object.__setattr__(self, "outputs", tuple(outputs))
+        object.__setattr__(self, "proof", proof)
+
+    def payload(self) -> bytes:
+        """What input owners sign to authorize this transaction."""
+        parts = [b"typecoin-batch:"]
+        parts.append(_uint(len(self.inputs)))
+        for resource_id in self.inputs:
+            parts.append(_uint(resource_id))
+        parts.append(_uint(len(self.outputs)))
+        for out in self.outputs:
+            parts.append(encode_prop(out.prop) + _uint(out.amount) + _blob(out.owner))
+        return b"".join(parts)
+
+
+def _proof_uses_affine_assert(term) -> bool:
+    import dataclasses
+
+    if isinstance(term, pt.Assert):
+        return True
+    if not dataclasses.is_dataclass(term):
+        return False
+    for field_info in dataclasses.fields(term):
+        value = getattr(term, field_info.name)
+        if isinstance(value, tuple):
+            if any(_proof_uses_affine_assert(v) for v in value):
+                return True
+        elif _proof_uses_affine_assert(value):
+            return True
+    return False
+
+
+@dataclass
+class _Resource:
+    prop: Proposition
+    amount: int
+    owner: bytes
+    # Where the backing came from: an on-chain outpoint, or a virtual
+    # transaction's output.
+    onchain: OutPoint | None = None
+    virtual: tuple[int, int] | None = None  # (vtx id, output index)
+    consumed_by: int | None = None  # vtx id
+    withdrawn: bool = False
+
+
+class BatchServer:
+    """The §3.2 credential server."""
+
+    def __init__(self, net, seed: bytes, ledger: Ledger | None = None):
+        self.client = TypecoinClient(net, seed, ledger)
+        self._resources: dict[int, _Resource] = {}
+        self._vtxs: dict[int, VirtualTransaction] = {}
+        self._ids = itertools.count(1)
+
+    @property
+    def net(self):
+        return self.client.net
+
+    @property
+    def principal(self) -> bytes:
+        return self.client.principal
+
+    @property
+    def pubkey(self) -> bytes:
+        return self.client.pubkey
+
+    # -- deposits --------------------------------------------------------
+
+    def deposit(self, bundle: ClaimBundle, owner: bytes) -> int:
+        """Accept a resource a principal sent to the server's key.
+
+        The server verifies the §3 claim itself (it is an "interested
+        party"), requires the txout to be locked to its own key, and
+        credits ``owner``.
+        """
+        try:
+            ledger = verify_claim(
+                self.net.chain, bundle, base_ledger=self.client.ledger
+            )
+        except VerificationError as exc:
+            raise BatchError(f"deposit rejected: {exc}") from exc
+        entry = ledger.output(bundle.outpoint.txid, bundle.outpoint.index)
+        assert entry is not None
+        if entry.principal != self.principal:
+            raise BatchError("deposited txout is not locked to the server")
+        # Adopt the verified history into the server's own ledger.
+        for txid, txn in bundle.transactions.items():
+            if txid not in self.client.ledger.transactions:
+                self.client.learn(txid, txn)
+        resource_id = next(self._ids)
+        self._resources[resource_id] = _Resource(
+            prop=entry.prop,
+            amount=entry.amount,
+            owner=owner,
+            onchain=bundle.outpoint,
+        )
+        return resource_id
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, resource_id: int) -> VirtualOutput | None:
+        """Answer a validity question "based on its own records" (§3.2)."""
+        resource = self._resources.get(resource_id)
+        if resource is None or resource.consumed_by is not None or resource.withdrawn:
+            return None
+        return VirtualOutput(resource.prop, resource.amount, resource.owner)
+
+    def holdings_of(self, owner: bytes) -> dict[int, VirtualOutput]:
+        return {
+            rid: VirtualOutput(r.prop, r.amount, r.owner)
+            for rid, r in self._resources.items()
+            if r.owner == owner and r.consumed_by is None and not r.withdrawn
+        }
+
+    # -- virtual transactions -----------------------------------------------
+
+    def transact(
+        self,
+        vtx: VirtualTransaction,
+        authorizations: dict[bytes, tuple[bytes, bytes]],
+    ) -> int:
+        """Record a batch-mode transaction.
+
+        ``authorizations`` maps each input owner's principal to a
+        (pubkey, signature) pair over :meth:`VirtualTransaction.payload`.
+        """
+        if not vtx.inputs:
+            raise BatchError("virtual transactions need at least one input")
+        if _proof_uses_affine_assert(vtx.proof):
+            raise WriteThroughRequired(
+                "affine assert signs a real transaction; write through"
+            )
+        input_props = []
+        total_in = 0
+        for resource_id in vtx.inputs:
+            resource = self._resources.get(resource_id)
+            if resource is None:
+                raise BatchError(f"unknown resource {resource_id}")
+            if resource.consumed_by is not None or resource.withdrawn:
+                raise BatchError(f"resource {resource_id} is no longer held")
+            self._check_authorization(resource.owner, vtx, authorizations)
+            input_props.append(resource.prop)
+            total_in += resource.amount
+        total_out = sum(out.amount for out in vtx.outputs)
+        if total_in != total_out:
+            raise BatchError(
+                f"virtual transaction does not conserve satoshis"
+                f" ({total_in} in, {total_out} out)"
+            )
+
+        # Type check: proof must prove A ⊸ B unconditionally.
+        ctx = CheckerContext(basis=self.client.ledger.global_basis)
+        try:
+            proved, _ = infer(ctx, vtx.proof)
+        except ProofError as exc:
+            raise BatchError(f"virtual proof does not check: {exc}") from exc
+        proved = normalize_prop(proved)
+        if not isinstance(proved, Lolli):
+            raise BatchError("virtual proof must be an implication")
+        if not props_equal(proved.antecedent, tensor_all(input_props)):
+            raise BatchError("virtual proof consumes the wrong resources")
+        consequent = normalize_prop(proved.consequent)
+        if isinstance(consequent, IfProp):
+            raise WriteThroughRequired(
+                "conditional discharge must be written through (§5)"
+            )
+        expected = tensor_all([out.prop for out in vtx.outputs])
+        if not props_equal(consequent, expected):
+            raise BatchError("virtual proof produces the wrong resources")
+
+        vtx_id = next(self._ids)
+        self._vtxs[vtx_id] = vtx
+        for resource_id in vtx.inputs:
+            self._resources[resource_id].consumed_by = vtx_id
+        for index, out in enumerate(vtx.outputs):
+            new_id = next(self._ids)
+            self._resources[new_id] = _Resource(
+                prop=out.prop,
+                amount=out.amount,
+                owner=out.owner,
+                virtual=(vtx_id, index),
+            )
+        return vtx_id
+
+    def _check_authorization(
+        self,
+        owner: bytes,
+        vtx: VirtualTransaction,
+        authorizations: dict[bytes, tuple[bytes, bytes]],
+    ) -> None:
+        if owner == self.principal:
+            return  # the server authorizes its own spends implicitly
+        auth = authorizations.get(owner)
+        if auth is None:
+            raise BatchError(f"missing authorization from {owner.hex()[:8]}…")
+        pubkey_bytes, signature_bytes = auth
+        if hash160(pubkey_bytes) != owner:
+            raise BatchError("authorization key does not match owner")
+        try:
+            point = Point.decode(pubkey_bytes)
+            signature = Signature.decode(signature_bytes)
+        except ValueError as exc:
+            raise BatchError(f"malformed authorization: {exc}") from exc
+        from repro.crypto.ecdsa import verify
+
+        if not verify(point, sha256(vtx.payload()), signature):
+            raise BatchError("authorization signature invalid")
+
+    # -- withdrawal --------------------------------------------------------
+
+    def withdraw(
+        self, resource_id: int, recipient_pubkey: bytes, fee: int = 10_000
+    ) -> Transaction:
+        """Materialize a held resource on-chain (§3.2).
+
+        Builds one Typecoin transaction whose inputs are every on-chain
+        txout backing the affected virtual history, routes the withdrawn
+        resource to ``recipient_pubkey``, the other live resources back to
+        the server's key, and submits it.  Returns the carrier.
+        """
+        target = self._resources.get(resource_id)
+        if target is None or target.consumed_by is not None or target.withdrawn:
+            raise BatchError("resource is not available for withdrawal")
+        if hash160(recipient_pubkey) != target.owner:
+            raise BatchError("withdrawal key does not match the owner")
+
+        if target.onchain is not None and not self._vtx_children(resource_id):
+            # Directly held on-chain: a plain one-in-one-out transfer.
+            vtx_order: list[int] = []
+        else:
+            vtx_order = self._affected_vtxs(resource_id)
+
+        roots, live = self._roots_and_live(vtx_order, resource_id)
+
+        inputs = [
+            self.client.input_for(self._resources[rid].onchain)
+            for rid in roots
+        ]
+        outputs = [TypecoinOutput(target.prop, target.amount, recipient_pubkey)]
+        for rid in live:
+            resource = self._resources[rid]
+            outputs.append(
+                TypecoinOutput(resource.prop, resource.amount, self.pubkey)
+            )
+        proof = self._compose_proof(roots, vtx_order, [resource_id] + live, outputs)
+        txn = TypecoinTransaction(Basis(), One(), inputs, outputs, proof)
+        carrier = self.client.submit(txn, fee=fee)
+        target.withdrawn = True
+        for rid in live:
+            # The rest re-enter as fresh on-chain holdings after confirm;
+            # callers invoke sync() to rebind them.
+            self._resources[rid].withdrawn = True
+        self._pending_rebind = (carrier.txid, [(resource_id, 0)] + [
+            (rid, idx + 1) for idx, rid in enumerate(live)
+        ])
+        return carrier
+
+    def sync(self) -> None:
+        """Register confirmed submissions; rebind surviving resources to
+        their new on-chain outpoints."""
+        registered = set(self.client.sync())
+        pending = getattr(self, "_pending_rebind", None)
+        if pending and pending[0] in registered:
+            carrier_txid, bindings = pending
+            for rid, output_index in bindings:
+                if output_index == 0:
+                    continue  # withdrawn to its owner; it left the server
+                resource = self._resources[rid]
+                # The rest routed back to the server's key: resurrect each
+                # as a fresh on-chain holding for the same beneficial owner.
+                new_id = next(self._ids)
+                self._resources[new_id] = _Resource(
+                    prop=resource.prop,
+                    amount=resource.amount,
+                    owner=resource.owner,
+                    onchain=OutPoint(carrier_txid, output_index),
+                )
+            self._pending_rebind = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _vtx_children(self, resource_id: int) -> list[int]:
+        return [
+            vtx_id
+            for vtx_id, vtx in self._vtxs.items()
+            if resource_id in vtx.inputs
+        ]
+
+    def _affected_vtxs(self, resource_id: int) -> list[int]:
+        """All virtual transactions entangled with the target's history:
+        backward closure, then forward closure over shared roots."""
+        affected: set[int] = set()
+        frontier_resources = {resource_id}
+        while True:
+            before = len(affected)
+            # Backward: producers of any frontier resource.
+            for rid in list(frontier_resources):
+                resource = self._resources[rid]
+                if resource.virtual is not None:
+                    vtx_id = resource.virtual[0]
+                    if vtx_id not in affected:
+                        affected.add(vtx_id)
+                        frontier_resources.update(self._vtxs[vtx_id].inputs)
+            # Forward: consumers of any output of an affected vtx.
+            for vtx_id in list(affected):
+                for rid, resource in self._resources.items():
+                    if resource.virtual and resource.virtual[0] == vtx_id:
+                        if resource.consumed_by is not None:
+                            child = resource.consumed_by
+                            if child not in affected:
+                                affected.add(child)
+                                frontier_resources.update(self._vtxs[child].inputs)
+            if len(affected) == before:
+                break
+        return self._topo_vtxs(affected)
+
+    def _topo_vtxs(self, vtx_ids: set[int]) -> list[int]:
+        order: list[int] = []
+        placed: set[int] = set()
+        pending = set(vtx_ids)
+        while pending:
+            progressed = False
+            for vtx_id in sorted(pending):
+                deps = set()
+                for rid in self._vtxs[vtx_id].inputs:
+                    resource = self._resources[rid]
+                    if resource.virtual and resource.virtual[0] in vtx_ids:
+                        deps.add(resource.virtual[0])
+                if deps <= placed:
+                    order.append(vtx_id)
+                    placed.add(vtx_id)
+                    pending.discard(vtx_id)
+                    progressed = True
+            if not progressed:  # pragma: no cover - acyclic by construction
+                raise BatchError("virtual history contains a cycle")
+        return order
+
+    def _roots_and_live(
+        self, vtx_order: list[int], target_id: int
+    ) -> tuple[list[int], list[int]]:
+        in_closure = set(vtx_order)
+        roots: list[int] = []
+        live: list[int] = []
+        if not vtx_order:
+            return [target_id], []
+        for rid, resource in sorted(self._resources.items()):
+            if resource.withdrawn:
+                continue
+            produced_in = resource.virtual and resource.virtual[0] in in_closure
+            consumed_in = resource.consumed_by in in_closure
+            if resource.onchain is not None and consumed_in:
+                roots.append(rid)
+            elif produced_in and resource.consumed_by is None and rid != target_id:
+                live.append(rid)
+        return roots, live
+
+    def _compose_proof(
+        self,
+        root_ids: list[int],
+        vtx_order: list[int],
+        final_resource_ids: list[int],
+        outputs: list[TypecoinOutput],
+    ) -> pt.ProofTerm:
+        """Compose the virtual proofs into one transaction proof.
+
+        Replay each virtual transaction in order, binding its outputs, then
+        assemble the final outputs tensor in declared order.
+        """
+        if not vtx_order:
+            # Direct transfer: identity on the single input.
+            return obligation_lambda(
+                One(),
+                [self._resources[root_ids[0]].prop],
+                [out.receipt() for out in outputs],
+                lambda _c, ins, _rs: tensor_intro_all(list(ins)),
+            )
+
+        def body(_c, input_vars, _receipts):
+            bound: dict[int, pt.ProofTerm] = dict(zip(root_ids, input_vars))
+
+            def replay(step: int) -> pt.ProofTerm:
+                if step == len(vtx_order):
+                    return tensor_intro_all(
+                        [bound[rid] for rid in final_resource_ids]
+                    )
+                vtx_id = vtx_order[step]
+                vtx = self._vtxs[vtx_id]
+                arg = tensor_intro_all([bound[rid] for rid in vtx.inputs])
+                result = pt.LolliElim(vtx.proof, arg)
+                produced_ids = [
+                    rid
+                    for rid, resource in sorted(self._resources.items())
+                    if resource.virtual and resource.virtual[0] == vtx_id
+                ]
+
+                def bind_outputs(vars_):
+                    for rid, var in zip(produced_ids, vars_):
+                        bound[rid] = var
+                    return replay(step + 1)
+
+                return decompose_tensor(
+                    result, len(produced_ids), bind_outputs, prefix=f"v{vtx_id}_"
+                )
+
+            return replay(0)
+
+        return obligation_lambda(
+            One(),
+            [self._resources[rid].prop for rid in root_ids],
+            [out.receipt() for out in outputs],
+            body,
+        )
+
+
+def authorize(key: PrivateKey, vtx: VirtualTransaction) -> tuple[bytes, bytes]:
+    """An owner's authorization pair for :meth:`BatchServer.transact`."""
+    signature = key.sign(vtx.payload())
+    return key.public.encoded, signature.encode()

@@ -1,0 +1,78 @@
+"""Fallback transaction lists (paper §5).
+
+"Typecoin allows users to submit a list of fallback transactions.  If the
+primary transaction turns out to be invalid, the first valid fallback
+transaction is used instead. ...  All the transactions in the list must map
+onto the same Bitcoin transaction.  This means that they must agree on the
+input txouts, the output principals, and the input and output Bitcoin
+amounts."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.transaction import TypecoinTransaction
+from repro.core.validate import Ledger, ValidationFailure, check_typecoin_transaction
+from repro.logic.conditions import WorldView
+
+
+class FallbackError(Exception):
+    """The fallback list is inconsistent at the Bitcoin level."""
+
+
+@dataclass(frozen=True)
+class FallbackList:
+    """A primary transaction plus ordered fallbacks sharing one carrier.
+
+    Note the paper's caveat: because the Bitcoin amounts must agree, "a
+    fallback transaction cannot recover payment made on an expired or
+    revoked contract" — escrow (§7) is the remedy when that matters.
+    """
+
+    primary: TypecoinTransaction
+    fallbacks: tuple[TypecoinTransaction, ...]
+
+    def __init__(self, primary: TypecoinTransaction, fallbacks):
+        object.__setattr__(self, "primary", primary)
+        object.__setattr__(self, "fallbacks", tuple(fallbacks))
+        for index, fallback in enumerate(self.fallbacks):
+            self._check_same_carrier_image(primary, fallback, index)
+
+    @staticmethod
+    def _check_same_carrier_image(
+        primary: TypecoinTransaction,
+        fallback: TypecoinTransaction,
+        index: int,
+    ) -> None:
+        if [(i.txid, i.index, i.amount) for i in primary.inputs] != [
+            (i.txid, i.index, i.amount) for i in fallback.inputs
+        ]:
+            raise FallbackError(
+                f"fallback {index} disagrees with the primary on input"
+                " txouts or amounts"
+            )
+        if [(o.recipient_pubkey, o.amount) for o in primary.outputs] != [
+            (o.recipient_pubkey, o.amount) for o in fallback.outputs
+        ]:
+            raise FallbackError(
+                f"fallback {index} disagrees with the primary on output"
+                " principals or amounts"
+            )
+
+    def all_transactions(self) -> tuple[TypecoinTransaction, ...]:
+        return (self.primary, *self.fallbacks)
+
+    def select_valid(
+        self, ledger: Ledger, world: WorldView
+    ) -> tuple[int, TypecoinTransaction] | None:
+        """The transaction that actually takes effect in ``world``: the
+        primary if valid, else the first valid fallback, else None (the
+        inputs are spoiled)."""
+        for index, txn in enumerate(self.all_transactions()):
+            try:
+                check_typecoin_transaction(ledger, txn, world)
+            except ValidationFailure:
+                continue
+            return index, txn
+        return None

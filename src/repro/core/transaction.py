@@ -1,0 +1,224 @@
+"""Typecoin transactions: (Σ, C, ι⃗, ω⃗, M) (paper §4, Figure 1).
+
+* Σ — the local basis, declaring ``this.*`` constants;
+* C — the affine grant, a proposition created from nothing (it must pass
+  the freshness check, so it can only mention local vocabulary);
+* ι⃗ — inputs ``txid.n ↦ A/a``: resources typed A plus a satoshis taken in
+  from output n of the carrier transaction txid;
+* ω⃗ — outputs ``B/b ↠ K``: resources typed B plus b satoshis sent to
+  principal K;
+* M — the proof that the transaction balances:
+  ``M : (C ⊗ A ⊗ R) ⊸ if(φ, B)``.
+
+Transaction identity: a Typecoin transaction is identified by the txid of
+its Bitcoin *carrier* — the transaction its hash is embedded into — so
+``this``-resolution and input references both speak Bitcoin txids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.crypto.hashing import sha256d
+from repro.lf.basis import Basis
+from repro.logic.encoding import _blob, _uint, encode_proof, encode_prop
+from repro.logic.propositions import (
+    One,
+    Proposition,
+    Receipt,
+    substitute_this_prop,
+    tensor_all,
+)
+from repro.logic.proofterms import ProofTerm
+from repro.lf.syntax import PrincipalLit
+
+
+class TxnError(Exception):
+    """Malformed Typecoin transaction structure."""
+
+
+@dataclass(frozen=True)
+class TypecoinInput:
+    """ι = txid.n ↦ A/a — spend output ``index`` of carrier ``txid``."""
+
+    txid: bytes
+    index: int
+    prop: Proposition
+    amount: int  # satoshis carried by the txout
+
+    def __post_init__(self) -> None:
+        if len(self.txid) != 32:
+            raise TxnError("input txid must be 32 bytes")
+        if self.index < 0:
+            raise TxnError("input index must be non-negative")
+        if self.amount < 0:
+            raise TxnError("input amount must be non-negative")
+
+
+@dataclass(frozen=True)
+class TypecoinOutput:
+    """ω = B/b ↠ K — send resources B and b satoshis to principal K.
+
+    ``recipient_pubkey`` is K's full public key: principals are key hashes
+    (§4 fn. 6) but the Bitcoin-level 1-of-2 multisig lock needs the key
+    itself, so outputs carry it and derive the principal.
+    """
+
+    prop: Proposition
+    amount: int
+    recipient_pubkey: bytes
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise TxnError("output amount must be non-negative")
+        if len(self.recipient_pubkey) != 33:
+            raise TxnError("recipient public keys are 33-byte compressed SEC1")
+
+    @property
+    def principal(self) -> bytes:
+        from repro.crypto.hashing import hash160
+
+        return hash160(self.recipient_pubkey)
+
+    @property
+    def principal_term(self) -> PrincipalLit:
+        return PrincipalLit(self.principal)
+
+    def receipt(self) -> Receipt:
+        """receipt(ω): the receipt resource this output generates (§4)."""
+        return Receipt(self.prop, self.amount, self.principal_term)
+
+
+@dataclass(frozen=True)
+class TypecoinTransaction:
+    """T = (Σ, C, ι⃗, ω⃗, M)."""
+
+    basis: Basis
+    grant: Proposition
+    inputs: tuple[TypecoinInput, ...]
+    outputs: tuple[TypecoinOutput, ...]
+    proof: ProofTerm
+
+    def __init__(self, basis, grant, inputs, outputs, proof):
+        object.__setattr__(self, "basis", basis)
+        object.__setattr__(self, "grant", grant)
+        object.__setattr__(self, "inputs", tuple(inputs))
+        object.__setattr__(self, "outputs", tuple(outputs))
+        object.__setattr__(self, "proof", proof)
+        if not self.outputs:
+            raise TxnError("transaction needs at least one output")
+
+    # -- the proof obligation ------------------------------------------
+
+    def obligation_antecedent(self) -> Proposition:
+        """C ⊗ A ⊗ R: the grant, the inputs tensor, the receipts tensor."""
+        a = tensor_all([inp.prop for inp in self.inputs])
+        r = tensor_all([out.receipt() for out in self.outputs])
+        from repro.logic.propositions import Tensor
+
+        return Tensor(self.grant, Tensor(a, r))
+
+    def outputs_tensor(self) -> Proposition:
+        """B = B₁ ⊗ … ⊗ B_β."""
+        return tensor_all([out.prop for out in self.outputs])
+
+    # -- hashing and signing payloads ------------------------------------
+
+    def signing_payload(self) -> bytes:
+        """What affine asserts sign: Σ, C, ι⃗, ω⃗ — everything except the
+        proof term M, which "need not be signed, and indeed cannot be,
+        since it contains the signatures" (§4 fn. 7)."""
+        parts = [b"typecoin-txn:", _uint(len(self.basis))]
+        for ref, decl in self.basis:
+            from repro.lf.basis import KindDecl, PropDecl, TypeDecl
+            from repro.logic.encoding import _ref, encode_family, encode_kind
+
+            parts.append(_ref(ref))
+            if isinstance(decl, KindDecl):
+                parts.append(b"\x01" + encode_kind(decl.kind))
+            elif isinstance(decl, TypeDecl):
+                parts.append(b"\x02" + encode_family(decl.family))
+            elif isinstance(decl, PropDecl):
+                parts.append(b"\x03" + encode_prop(decl.prop))
+            else:  # pragma: no cover - Declaration is a closed union
+                raise TxnError(f"unknown declaration {decl!r}")
+        parts.append(encode_prop(self.grant))
+        parts.append(_uint(len(self.inputs)))
+        for inp in self.inputs:
+            parts.append(
+                _blob(inp.txid) + _uint(inp.index) + encode_prop(inp.prop)
+                + _uint(inp.amount)
+            )
+        parts.append(_uint(len(self.outputs)))
+        for out in self.outputs:
+            parts.append(
+                encode_prop(out.prop) + _uint(out.amount)
+                + _blob(out.recipient_pubkey)
+            )
+        return b"".join(parts)
+
+    def serialize(self) -> bytes:
+        """The full transaction, proof term included."""
+        return self.signing_payload() + encode_proof(self.proof)
+
+    @cached_property
+    def hash(self) -> bytes:
+        """The hash embedded into the Bitcoin carrier (§3)."""
+        return sha256d(self.serialize())
+
+    # -- resolution ---------------------------------------------------------
+
+    def output_prop_resolved(self, index: int, carrier_txid: bytes) -> Proposition:
+        """Output ``index``'s proposition with ``this`` → the carrier txid.
+
+        Appendix A: "output nᵢ of txidᵢ in 𝔗 is Aᵢ′ and
+        Aᵢ = [txidᵢ/this]Aᵢ′".
+        """
+        if not 0 <= index < len(self.outputs):
+            raise TxnError(f"no output {index}")
+        return substitute_this_prop(self.outputs[index].prop, carrier_txid)
+
+
+def trivial_output(recipient_pubkey: bytes, amount: int) -> TypecoinOutput:
+    """A type-1 output: plain bitcoins escaping the Typecoin level (§3.1)."""
+    return TypecoinOutput(One(), amount, recipient_pubkey)
+
+
+def referenced_txids(txn: TypecoinTransaction) -> frozenset[bytes]:
+    """Every carrier txid this transaction depends on.
+
+    Two kinds of upstream edges: the outputs it spends, and the
+    transactions whose bases declared the constants it mentions (anywhere —
+    basis bodies, grant, input/output propositions, or the proof term).
+    The verifier's "set of all Typecoin transactions upstream" (§3) is the
+    closure of both.
+    """
+    import dataclasses
+
+    from repro.lf.syntax import ConstRef
+
+    found: set[bytes] = {inp.txid for inp in txn.inputs}
+
+    def walk(node) -> None:
+        if isinstance(node, ConstRef):
+            if isinstance(node.space, bytes):
+                found.add(node.space)
+            return
+        if isinstance(node, (tuple, list)):
+            for item in node:
+                walk(item)
+            return
+        if dataclasses.is_dataclass(node) and not isinstance(node, type):
+            for field_info in dataclasses.fields(node):
+                walk(getattr(node, field_info.name))
+
+    for _ref, decl in txn.basis:
+        walk(decl)
+    walk(txn.grant)
+    for inp in txn.inputs:
+        walk(inp.prop)
+    for out in txn.outputs:
+        walk(out.prop)
+    walk(txn.proof)
+    return frozenset(found)

@@ -1,0 +1,150 @@
+"""The §3 verification protocol: checking a claimed typed txout.
+
+"When Bob tries to turn in his homework, he identifies to the filesystem a
+txout (say I) that he claims has the type may-write-this(...).  To
+substantiate his claim, he provides the Typecoin transaction T_I that
+outputs I, as well as 𝔗, the set of all Typecoin transactions upstream of
+T_I.  The type-checker then checks that I's type is as claimed, and checks,
+for each T ∈ 𝔗, that:
+
+1. The hash of T agrees with the hash embedded in its corresponding Bitcoin
+   transaction.
+2. T type-checks.
+3. The type of each input of T agrees with the type of the output it
+   spends."
+
+Verification is performed *by interested parties, outside the Bitcoin
+mechanism* — the network never sees a proposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bitcoin.chain import Blockchain
+from repro.bitcoin.transaction import OutPoint
+from repro.core.overlay import OverlayError, check_carrier_correspondence
+from repro.core.transaction import TypecoinTransaction
+from repro.core.validate import (
+    Ledger,
+    ValidationFailure,
+    check_typecoin_transaction,
+    world_at,
+)
+from repro.logic.propositions import (
+    Proposition,
+    normalize_prop,
+    props_equal,
+)
+
+
+class VerificationError(Exception):
+    """A claim failed verification, with the failing check named."""
+
+
+@dataclass
+class ClaimBundle:
+    """What a prover hands a verifier: the claimed txout and type, plus
+    T_I and all Typecoin transactions upstream of it, keyed by carrier
+    txid."""
+
+    outpoint: OutPoint
+    prop: Proposition
+    transactions: dict[bytes, TypecoinTransaction] = field(default_factory=dict)
+
+
+def _topological_order(
+    transactions: dict[bytes, TypecoinTransaction]
+) -> list[bytes]:
+    """Order the bundle so every transaction follows the ones it spends."""
+    from repro.core.transaction import referenced_txids
+
+    pending = dict(transactions)
+    placed: list[bytes] = []
+    placed_set: set[bytes] = set()
+    while pending:
+        progressed = False
+        for txid in list(pending):
+            txn = pending[txid]
+            deps = {
+                dep
+                for dep in referenced_txids(txn)
+                if dep in transactions and dep != txid
+            }
+            if deps <= placed_set:
+                placed.append(txid)
+                placed_set.add(txid)
+                del pending[txid]
+                progressed = True
+        if not progressed:
+            raise VerificationError(
+                "claim bundle contains a dependency cycle"
+            )
+    return placed
+
+
+def verify_claim(
+    chain: Blockchain,
+    bundle: ClaimBundle,
+    min_confirmations: int = 1,
+    require_unspent: bool = True,
+    base_ledger: Ledger | None = None,
+) -> Ledger:
+    """Run the full §3 protocol; returns the ledger built from the bundle.
+
+    ``min_confirmations`` is the verifier's confirmation policy (§1 item 6
+    suggests six ≈ one hour; regtest tests use one).  ``base_ledger`` seeds
+    verification with already-trusted history (e.g. a batch server's own
+    records) — the bundle only needs transactions *beyond* it.
+    """
+    if base_ledger is not None:
+        ledger = Ledger(
+            global_basis=base_ledger.global_basis,
+            transactions=dict(base_ledger.transactions),
+            outputs={k: v for k, v in base_ledger.outputs.items()},
+        )
+    else:
+        ledger = Ledger()
+
+    for txid in _topological_order(bundle.transactions):
+        txn = bundle.transactions[txid]
+        if txid in ledger.transactions:
+            continue
+        found = chain.get_transaction(txid)
+        if found is None:
+            raise VerificationError(
+                f"carrier {txid[:8].hex()}… is not in the active chain"
+            )
+        carrier, height = found
+        confirmations = chain.height - height + 1
+        if confirmations < min_confirmations:
+            raise VerificationError(
+                f"carrier {txid[:8].hex()}… has {confirmations}"
+                f" confirmations, policy requires {min_confirmations}"
+            )
+        # Check 1: the hash embedding (and full structural correspondence).
+        try:
+            check_carrier_correspondence(carrier, txn)
+        except OverlayError as exc:
+            raise VerificationError(f"hash embedding check failed: {exc}") from exc
+        # Checks 2 and 3: the transaction typechecks against history, with
+        # conditions discharged in the world where it confirmed.
+        world = world_at(chain, height)
+        try:
+            check_typecoin_transaction(ledger, txn, world)
+        except ValidationFailure as exc:
+            raise VerificationError(f"type check failed: {exc}") from exc
+        ledger.register(txid, txn)
+
+    # Finally: I's type is as claimed.
+    target = ledger.output(bundle.outpoint.txid, bundle.outpoint.index)
+    if target is None:
+        raise VerificationError("claimed txout is not produced by the bundle")
+    if not props_equal(target.prop, bundle.prop):
+        raise VerificationError(
+            f"claimed type {normalize_prop(bundle.prop)} but output has type"
+            f" {normalize_prop(target.prop)}"
+        )
+    if require_unspent and chain.is_spent(bundle.outpoint):
+        raise VerificationError("claimed txout has already been spent")
+    return ledger

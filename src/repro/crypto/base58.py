@@ -1,0 +1,61 @@
+"""Base58Check encoding, Bitcoin's human-facing address/key format.
+
+Base58 drops the visually ambiguous characters (0, O, I, l) from base 62;
+Base58Check appends a 4-byte double-SHA-256 checksum before encoding so that
+mistyped addresses are detected rather than silently paying a stranger.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import sha256d
+
+ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_INDEX = {ch: i for i, ch in enumerate(ALPHABET)}
+
+
+class Base58Error(ValueError):
+    """Raised on malformed base58check input (bad character or checksum)."""
+
+
+def b58encode(data: bytes) -> str:
+    """Encode raw bytes as base58 (no checksum)."""
+    value = int.from_bytes(data, "big")
+    encoded: list[str] = []
+    while value > 0:
+        value, rem = divmod(value, 58)
+        encoded.append(ALPHABET[rem])
+    # Leading zero bytes encode as leading '1's.
+    leading_zeros = len(data) - len(data.lstrip(b"\x00"))
+    return "1" * leading_zeros + "".join(reversed(encoded))
+
+
+def b58decode(text: str) -> bytes:
+    """Decode base58 text to raw bytes (no checksum)."""
+    value = 0
+    for ch in text:
+        if ch not in _INDEX:
+            raise Base58Error(f"invalid base58 character: {ch!r}")
+        value = value * 58 + _INDEX[ch]
+    decoded = value.to_bytes((value.bit_length() + 7) // 8, "big")
+    leading_ones = len(text) - len(text.lstrip("1"))
+    return b"\x00" * leading_ones + decoded
+
+
+def b58check_encode(payload: bytes, version: int = 0x00) -> str:
+    """Encode ``payload`` with a version byte and 4-byte checksum."""
+    body = bytes([version]) + payload
+    return b58encode(body + sha256d(body)[:4])
+
+
+def b58check_decode(text: str) -> tuple[int, bytes]:
+    """Decode base58check text, returning ``(version, payload)``.
+
+    Raises :class:`Base58Error` if the checksum does not verify.
+    """
+    raw = b58decode(text)
+    if len(raw) < 5:
+        raise Base58Error("base58check string too short")
+    body, checksum = raw[:-4], raw[-4:]
+    if sha256d(body)[:4] != checksum:
+        raise Base58Error("base58check checksum mismatch")
+    return body[0], body[1:]

@@ -1,0 +1,103 @@
+"""ECDSA over secp256k1 with deterministic (RFC-6979) nonces.
+
+Deterministic nonces matter twice over here: they remove the catastrophic
+failure mode of nonce reuse, and they make every simulation in this
+repository reproducible bit-for-bit.  Signatures are normalized to low-s form
+(as Bitcoin requires post-BIP-62) so that a third party cannot malleate a
+transaction id by negating s.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.secp256k1 import (
+    CURVE_ORDER,
+    GENERATOR,
+    Point,
+    point_add,
+    scalar_mult,
+)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An ECDSA signature (r, s) in compact 64-byte form."""
+
+    r: int
+    s: int
+
+    def encode(self) -> bytes:
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @staticmethod
+    def decode(data: bytes) -> "Signature":
+        if len(data) != 64:
+            raise ValueError("compact signature must be 64 bytes")
+        return Signature(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+
+def deterministic_nonce(secret: int, digest: bytes) -> int:
+    """RFC-6979 nonce derivation (HMAC-SHA256 variant, no extra entropy)."""
+    qlen = 32
+    key = b"\x00" * 32
+    v = b"\x01" * 32
+    x = secret.to_bytes(qlen, "big")
+    key = hmac.new(key, v + b"\x00" + x + digest, hashlib.sha256).digest()
+    v = hmac.new(key, v, hashlib.sha256).digest()
+    key = hmac.new(key, v + b"\x01" + x + digest, hashlib.sha256).digest()
+    v = hmac.new(key, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(key, v, hashlib.sha256).digest()
+        k = int.from_bytes(v, "big")
+        if 1 <= k < CURVE_ORDER:
+            return k
+        key = hmac.new(key, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(key, v, hashlib.sha256).digest()
+
+
+def _digest_to_int(digest: bytes) -> int:
+    return int.from_bytes(digest, "big") % CURVE_ORDER
+
+
+def sign(secret: int, digest: bytes) -> Signature:
+    """Sign a 32-byte message digest with the scalar ``secret``."""
+    if not 1 <= secret < CURVE_ORDER:
+        raise ValueError("secret key out of range")
+    z = _digest_to_int(digest)
+    while True:
+        k = deterministic_nonce(secret, digest)
+        point = scalar_mult(k)
+        assert point.x is not None
+        r = point.x % CURVE_ORDER
+        if r == 0:
+            digest = hashlib.sha256(digest).digest()
+            continue
+        k_inv = pow(k, CURVE_ORDER - 2, CURVE_ORDER)
+        s = (k_inv * (z + r * secret)) % CURVE_ORDER
+        if s == 0:
+            digest = hashlib.sha256(digest).digest()
+            continue
+        if s > CURVE_ORDER // 2:
+            s = CURVE_ORDER - s
+        return Signature(r, s)
+
+
+def verify(public: Point, digest: bytes, signature: Signature) -> bool:
+    """Verify a signature against a public point and 32-byte digest."""
+    r, s = signature.r, signature.s
+    if not (1 <= r < CURVE_ORDER and 1 <= s < CURVE_ORDER):
+        return False
+    if public.is_infinity:
+        return False
+    z = _digest_to_int(digest)
+    s_inv = pow(s, CURVE_ORDER - 2, CURVE_ORDER)
+    u1 = (z * s_inv) % CURVE_ORDER
+    u2 = (r * s_inv) % CURVE_ORDER
+    point = point_add(scalar_mult(u1, GENERATOR), scalar_mult(u2, public))
+    if point.is_infinity:
+        return False
+    assert point.x is not None
+    return point.x % CURVE_ORDER == r

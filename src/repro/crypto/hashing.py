@@ -1,0 +1,44 @@
+"""Hash functions used throughout the Bitcoin and Typecoin layers.
+
+Bitcoin hashes everything twice with SHA-256 (``sha256d``) and derives key
+hashes with ``hash160`` (RIPEMD-160 over SHA-256).  Typecoin uses ``sha256d``
+for transaction-hash embedding (DESIGN.md S17).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.ripemd160 import ripemd160_pure
+
+
+def sha256(data: bytes) -> bytes:
+    """Single SHA-256."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256d(data: bytes) -> bytes:
+    """Double SHA-256, Bitcoin's workhorse hash (txids, block hashes)."""
+    return hashlib.sha256(hashlib.sha256(data).digest()).digest()
+
+
+def _openssl_ripemd160(data: bytes) -> bytes | None:
+    try:
+        h = hashlib.new("ripemd160")
+    except (ValueError, TypeError):
+        return None
+    h.update(data)
+    return h.digest()
+
+
+def ripemd160(data: bytes) -> bytes:
+    """RIPEMD-160, via OpenSSL when available, else the pure-Python fallback."""
+    digest = _openssl_ripemd160(data)
+    if digest is not None:
+        return digest
+    return ripemd160_pure(data)
+
+
+def hash160(data: bytes) -> bytes:
+    """RIPEMD160(SHA256(data)) — Bitcoin's address hash."""
+    return ripemd160(sha256(data))

@@ -1,0 +1,105 @@
+"""Pure-Python RIPEMD-160.
+
+Bitcoin derives addresses from HASH160 = RIPEMD160(SHA256(pubkey)).  Python's
+``hashlib`` only exposes RIPEMD-160 when the linked OpenSSL provides it, which
+modern OpenSSL builds frequently do not.  This module is a self-contained
+implementation of the function as specified by Dobbertin, Bosselaers and
+Preneel (1996), used as a fallback by :mod:`repro.crypto.hashing`.
+
+The implementation favours clarity over speed; it processes one 64-byte block
+at a time with the ten round functions written out explicitly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFF
+
+# Message-word selection for the left and right lines, 5 rounds of 16 steps.
+_R_LEFT = [
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    7, 4, 13, 1, 10, 6, 15, 3, 12, 0, 9, 5, 2, 14, 11, 8,
+    3, 10, 14, 4, 9, 15, 8, 1, 2, 7, 0, 6, 13, 11, 5, 12,
+    1, 9, 11, 10, 0, 8, 12, 4, 13, 3, 7, 15, 14, 5, 6, 2,
+    4, 0, 5, 9, 7, 12, 2, 10, 14, 1, 3, 8, 11, 6, 15, 13,
+]
+_R_RIGHT = [
+    5, 14, 7, 0, 9, 2, 11, 4, 13, 6, 15, 8, 1, 10, 3, 12,
+    6, 11, 3, 7, 0, 13, 5, 10, 14, 15, 8, 12, 4, 9, 1, 2,
+    15, 5, 1, 3, 7, 14, 6, 9, 11, 8, 12, 2, 10, 0, 4, 13,
+    8, 6, 4, 1, 3, 11, 15, 0, 5, 12, 2, 13, 9, 7, 10, 14,
+    12, 15, 10, 4, 1, 5, 8, 7, 6, 2, 13, 14, 0, 3, 9, 11,
+]
+
+# Per-step left-rotation amounts.
+_S_LEFT = [
+    11, 14, 15, 12, 5, 8, 7, 9, 11, 13, 14, 15, 6, 7, 9, 8,
+    7, 6, 8, 13, 11, 9, 7, 15, 7, 12, 15, 9, 11, 7, 13, 12,
+    11, 13, 6, 7, 14, 9, 13, 15, 14, 8, 13, 6, 5, 12, 7, 5,
+    11, 12, 14, 15, 14, 15, 9, 8, 9, 14, 5, 6, 8, 6, 5, 12,
+    9, 15, 5, 11, 6, 8, 13, 12, 5, 12, 13, 14, 11, 8, 5, 6,
+]
+_S_RIGHT = [
+    8, 9, 9, 11, 13, 15, 15, 5, 7, 7, 8, 11, 14, 14, 12, 6,
+    9, 13, 15, 7, 12, 8, 9, 11, 7, 7, 12, 7, 6, 15, 13, 11,
+    9, 7, 15, 11, 8, 6, 6, 14, 12, 13, 5, 14, 13, 13, 7, 5,
+    15, 5, 8, 11, 14, 14, 6, 14, 6, 9, 12, 9, 12, 5, 15, 8,
+    8, 5, 12, 9, 12, 5, 14, 6, 8, 13, 6, 5, 15, 13, 11, 11,
+]
+
+_K_LEFT = (0x00000000, 0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xA953FD4E)
+_K_RIGHT = (0x50A28BE6, 0x5C4DD124, 0x6D703EF3, 0x7A6D76E9, 0x00000000)
+
+
+def _rol(x: int, n: int) -> int:
+    return ((x << n) | (x >> (32 - n))) & _MASK
+
+
+def _f(round_index: int, x: int, y: int, z: int) -> int:
+    if round_index == 0:
+        return x ^ y ^ z
+    if round_index == 1:
+        return (x & y) | (~x & z)
+    if round_index == 2:
+        return (x | ~y) ^ z
+    if round_index == 3:
+        return (x & z) | (y & ~z)
+    return x ^ (y | ~z)
+
+
+def _compress(state: list[int], block: bytes) -> None:
+    words = struct.unpack("<16I", block)
+    al, bl, cl, dl, el = state
+    ar, br, cr, dr, er = state
+
+    for j in range(80):
+        rnd = j // 16
+        # Left line.
+        t = (al + _f(rnd, bl, cl, dl) + words[_R_LEFT[j]] + _K_LEFT[rnd]) & _MASK
+        t = (_rol(t, _S_LEFT[j]) + el) & _MASK
+        al, el, dl, cl, bl = el, dl, _rol(cl, 10), bl, t
+        # Right line uses the round functions in reverse order.
+        t = (ar + _f(4 - rnd, br, cr, dr) + words[_R_RIGHT[j]] + _K_RIGHT[rnd]) & _MASK
+        t = (_rol(t, _S_RIGHT[j]) + er) & _MASK
+        ar, er, dr, cr, br = er, dr, _rol(cr, 10), br, t
+
+    combined = (state[1] + cl + dr) & _MASK
+    state[1] = (state[2] + dl + er) & _MASK
+    state[2] = (state[3] + el + ar) & _MASK
+    state[3] = (state[4] + al + br) & _MASK
+    state[4] = (state[0] + bl + cr) & _MASK
+    state[0] = combined
+
+
+def ripemd160_pure(data: bytes) -> bytes:
+    """Compute the RIPEMD-160 digest of ``data`` without OpenSSL."""
+    state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    length = len(data)
+    # Merkle-Damgård padding: 0x80, zeros, then the bit length little-endian.
+    padded = data + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    padded += struct.pack("<Q", length * 8)
+    for offset in range(0, len(padded), 64):
+        _compress(state, padded[offset : offset + 64])
+    return struct.pack("<5I", *state)

@@ -1,0 +1,174 @@
+"""secp256k1 elliptic-curve group operations.
+
+Bitcoin signatures live on the Koblitz curve y² = x³ + 7 over the prime field
+GF(p) with p = 2²⁵⁶ − 2³² − 977.  This module implements affine point
+arithmetic with a Jacobian fast path for scalar multiplication; it is pure
+Python and deterministic.
+
+Points are immutable; the identity (point at infinity) is represented by the
+singleton :data:`INFINITY` whose ``x``/``y`` are ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FIELD_PRIME = 2**256 - 2**32 - 977
+CURVE_ORDER = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+_B = 7
+
+_GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+_GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point on secp256k1, or the identity when both coordinates are None."""
+
+    x: int | None
+    y: int | None
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def __post_init__(self) -> None:
+        if self.x is None:
+            return
+        assert self.y is not None
+        if (self.y * self.y - (self.x**3 + _B)) % FIELD_PRIME != 0:
+            raise ValueError("point is not on secp256k1")
+
+    def encode(self, compressed: bool = True) -> bytes:
+        """SEC1 encoding (33 bytes compressed, 65 uncompressed)."""
+        if self.is_infinity:
+            raise ValueError("cannot encode the point at infinity")
+        assert self.x is not None and self.y is not None
+        xb = self.x.to_bytes(32, "big")
+        if compressed:
+            prefix = b"\x03" if self.y % 2 else b"\x02"
+            return prefix + xb
+        return b"\x04" + xb + self.y.to_bytes(32, "big")
+
+    @staticmethod
+    def decode(data: bytes) -> "Point":
+        """Decode a SEC1-encoded point."""
+        if len(data) == 33 and data[0] in (2, 3):
+            x = int.from_bytes(data[1:], "big")
+            if x >= FIELD_PRIME:
+                raise ValueError("x coordinate out of range")
+            y_sq = (pow(x, 3, FIELD_PRIME) + _B) % FIELD_PRIME
+            y = pow(y_sq, (FIELD_PRIME + 1) // 4, FIELD_PRIME)
+            if (y * y) % FIELD_PRIME != y_sq:
+                raise ValueError("x coordinate has no square root (not on curve)")
+            if (y % 2) != (data[0] == 3):
+                y = FIELD_PRIME - y
+            return Point(x, y)
+        if len(data) == 65 and data[0] == 4:
+            return Point(
+                int.from_bytes(data[1:33], "big"), int.from_bytes(data[33:], "big")
+            )
+        raise ValueError("malformed SEC1 point encoding")
+
+
+INFINITY = Point(None, None)
+GENERATOR = Point(_GX, _GY)
+
+
+def _inv(a: int) -> int:
+    return pow(a, FIELD_PRIME - 2, FIELD_PRIME)
+
+
+def point_add(p: Point, q: Point) -> Point:
+    """Affine point addition (complete: handles identity and doubling)."""
+    if p.is_infinity:
+        return q
+    if q.is_infinity:
+        return p
+    assert p.x is not None and p.y is not None
+    assert q.x is not None and q.y is not None
+    if p.x == q.x:
+        if (p.y + q.y) % FIELD_PRIME == 0:
+            return INFINITY
+        slope = (3 * p.x * p.x) * _inv(2 * p.y) % FIELD_PRIME
+    else:
+        slope = (q.y - p.y) * _inv(q.x - p.x) % FIELD_PRIME
+    x3 = (slope * slope - p.x - q.x) % FIELD_PRIME
+    y3 = (slope * (p.x - x3) - p.y) % FIELD_PRIME
+    return Point(x3, y3)
+
+
+# --- Jacobian coordinates: (X, Y, Z) with x = X/Z², y = Y/Z³.  Avoids one
+# field inversion per addition, which dominates pure-Python run time. ---
+
+
+def _to_jacobian(p: Point) -> tuple[int, int, int]:
+    if p.is_infinity:
+        return (0, 0, 0)
+    assert p.x is not None and p.y is not None
+    return (p.x, p.y, 1)
+
+
+def _from_jacobian(j: tuple[int, int, int]) -> Point:
+    x, y, z = j
+    if z == 0:
+        return INFINITY
+    zinv = pow(z, FIELD_PRIME - 2, FIELD_PRIME)
+    zinv2 = (zinv * zinv) % FIELD_PRIME
+    return Point((x * zinv2) % FIELD_PRIME, (y * zinv2 * zinv) % FIELD_PRIME)
+
+
+def _jacobian_double(j: tuple[int, int, int]) -> tuple[int, int, int]:
+    x, y, z = j
+    if z == 0 or y == 0:
+        return (0, 0, 0)
+    s = (4 * x * y * y) % FIELD_PRIME
+    m = (3 * x * x) % FIELD_PRIME  # a = 0 for secp256k1
+    x3 = (m * m - 2 * s) % FIELD_PRIME
+    y3 = (m * (s - x3) - 8 * pow(y, 4, FIELD_PRIME)) % FIELD_PRIME
+    z3 = (2 * y * z) % FIELD_PRIME
+    return (x3, y3, z3)
+
+
+def _jacobian_add(
+    j: tuple[int, int, int], q: tuple[int, int, int]
+) -> tuple[int, int, int]:
+    if j[2] == 0:
+        return q
+    if q[2] == 0:
+        return j
+    x1, y1, z1 = j
+    x2, y2, z2 = q
+    z1z1 = (z1 * z1) % FIELD_PRIME
+    z2z2 = (z2 * z2) % FIELD_PRIME
+    u1 = (x1 * z2z2) % FIELD_PRIME
+    u2 = (x2 * z1z1) % FIELD_PRIME
+    s1 = (y1 * z2 * z2z2) % FIELD_PRIME
+    s2 = (y2 * z1 * z1z1) % FIELD_PRIME
+    if u1 == u2:
+        if s1 != s2:
+            return (0, 0, 0)
+        return _jacobian_double(j)
+    h = (u2 - u1) % FIELD_PRIME
+    h2 = (h * h) % FIELD_PRIME
+    h3 = (h * h2) % FIELD_PRIME
+    r = (s2 - s1) % FIELD_PRIME
+    x3 = (r * r - h3 - 2 * u1 * h2) % FIELD_PRIME
+    y3 = (r * (u1 * h2 - x3) - s1 * h3) % FIELD_PRIME
+    z3 = (h * z1 * z2) % FIELD_PRIME
+    return (x3, y3, z3)
+
+
+def scalar_mult(k: int, p: Point = GENERATOR) -> Point:
+    """Compute k·P by double-and-add over Jacobian coordinates."""
+    k %= CURVE_ORDER
+    if k == 0 or p.is_infinity:
+        return INFINITY
+    result = (0, 0, 0)
+    addend = _to_jacobian(p)
+    while k:
+        if k & 1:
+            result = _jacobian_add(result, addend)
+        addend = _jacobian_double(addend)
+        k >>= 1
+    return _from_jacobian(result)

@@ -1,0 +1,111 @@
+"""β-normalization (plus arithmetic δ-rules) for LF terms and families.
+
+Definitional equality in this LF fragment is α-equivalence of β-normal
+forms.  One δ-rule augments β: the builtin ``add`` applied to two ``nat``
+literals reduces to their sum, which is what lets ``plus_refl n m`` inhabit
+``plus n m (n+m)`` with literal numbers (see :mod:`repro.lf.basis`).
+"""
+
+from __future__ import annotations
+
+from repro.lf import syntax
+from repro.lf.syntax import (
+    App,
+    Const,
+    Kind,
+    KPi,
+    Lam,
+    NatLit,
+    PrincipalLit,
+    TApp,
+    TConst,
+    TPi,
+    Term,
+    TypeFamily,
+    Var,
+    alpha_equal,
+    substitute,
+)
+
+# The δ-reducible arithmetic constants, filled in by repro.lf.basis at
+# import time (avoiding a circular import).
+_DELTA_ARITH: dict[syntax.ConstRef, object] = {}
+
+
+def register_arith(ref: syntax.ConstRef, fn) -> None:
+    """Register a binary nat operation for δ-reduction (add, etc.)."""
+    _DELTA_ARITH[ref] = fn
+
+
+def _try_delta(term: App) -> Term | None:
+    """Reduce ``op l1 l2`` when op is registered and both args are literals."""
+    if not isinstance(term.func, App):
+        return None
+    inner = term.func
+    if not isinstance(inner.func, Const):
+        return None
+    fn = _DELTA_ARITH.get(inner.func.ref)
+    if fn is None:
+        return None
+    a, b = inner.arg, term.arg
+    if isinstance(a, NatLit) and isinstance(b, NatLit):
+        return NatLit(fn(a.value, b.value))
+    return None
+
+
+def normalize(term: Term, _depth: int = 0) -> Term:
+    """Full β(δ)-normalization of a term."""
+    if _depth > 10_000:
+        raise RecursionError("normalization diverged")
+    if isinstance(term, (Var, Const, PrincipalLit, NatLit)):
+        return term
+    if isinstance(term, Lam):
+        return Lam(term.var, normalize_family(term.domain), normalize(term.body))
+    if isinstance(term, App):
+        func = normalize(term.func, _depth + 1)
+        arg = normalize(term.arg, _depth + 1)
+        if isinstance(func, Lam):
+            return normalize(substitute(func.body, func.var, arg), _depth + 1)
+        reduced = App(func, arg)
+        delta = _try_delta(reduced)
+        if delta is not None:
+            return delta
+        return reduced
+    raise TypeError(f"not an LF term: {term!r}")
+
+
+def normalize_family(family: TypeFamily) -> TypeFamily:
+    """Normalize the term arguments inside a type family."""
+    if isinstance(family, TConst):
+        return family
+    if isinstance(family, TApp):
+        return TApp(normalize_family(family.family), normalize(family.arg))
+    if isinstance(family, TPi):
+        return TPi(
+            family.var, normalize_family(family.domain), normalize_family(family.body)
+        )
+    raise TypeError(f"not an LF family: {family!r}")
+
+
+def normalize_kind(kind):
+    """Normalize the families inside a kind."""
+    if isinstance(kind, Kind):
+        return kind
+    if isinstance(kind, KPi):
+        return KPi(kind.var, normalize_family(kind.domain), normalize_kind(kind.body))
+    raise TypeError(f"not an LF kind: {kind!r}")
+
+
+def terms_equal(a: Term, b: Term) -> bool:
+    """Definitional equality of terms: α-equivalence of normal forms."""
+    return alpha_equal(normalize(a), normalize(b))
+
+
+def families_equal(a: TypeFamily, b: TypeFamily) -> bool:
+    """Definitional equality of families."""
+    return alpha_equal(normalize_family(a), normalize_family(b))
+
+
+def kinds_equal(a, b) -> bool:
+    """Definitional equality of kinds."""
+    return alpha_equal(normalize_kind(a), normalize_kind(b))

@@ -1,0 +1,297 @@
+"""Canonical byte encoding of logic syntax, for hashing and signing.
+
+Typecoin embeds the hash of the full transaction into Bitcoin (§3), and the
+``assert``/``assert!`` proof forms sign propositions (§4, Appendix A), so
+every syntactic class needs a deterministic serialization.  Bound variables
+are encoded as de Bruijn indices, making the encoding α-invariant: two
+α-equivalent propositions hash identically.
+"""
+
+from __future__ import annotations
+
+from repro.lf.syntax import (
+    BUILTIN,
+    THIS,
+    App,
+    Const,
+    ConstRef,
+    Kind,
+    KindSort,
+    KindT,
+    KPi,
+    Lam,
+    NatLit,
+    PrincipalLit,
+    TApp,
+    TConst,
+    TPi,
+    Term,
+    TypeFamily,
+    Var,
+)
+from repro.logic.conditions import Before, CAnd, CNot, Condition, CTrue, Spent
+from repro.logic.propositions import (
+    Atom,
+    Bang,
+    Exists,
+    Forall,
+    IfProp,
+    Lolli,
+    One,
+    Plus,
+    Proposition,
+    Receipt,
+    Says,
+    Tensor,
+    With,
+    Zero,
+)
+
+
+class EncodingError(Exception):
+    """Raised when a node cannot be canonically encoded (e.g. free vars)."""
+
+
+def _uint(n: int) -> bytes:
+    """Unsigned LEB128."""
+    out = bytearray()
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _blob(data: bytes) -> bytes:
+    return _uint(len(data)) + data
+
+
+def _ref(ref: ConstRef) -> bytes:
+    if ref.space is THIS:
+        space = b"\x00"
+    elif ref.space is BUILTIN:
+        space = b"\x01"
+    else:
+        space = b"\x02" + ref.space
+    return _blob(space) + _blob(ref.name.encode())
+
+
+def encode_term(term: Term, env: tuple[str, ...] = ()) -> bytes:
+    """Canonical encoding of an LF term; ``env`` maps binders to indices."""
+    if isinstance(term, Var):
+        for depth, name in enumerate(reversed(env)):
+            if name == term.name:
+                return b"\x10" + _uint(depth)
+        raise EncodingError(f"free variable {term.name} in canonical encoding")
+    if isinstance(term, Const):
+        return b"\x11" + _ref(term.ref)
+    if isinstance(term, Lam):
+        return (
+            b"\x12"
+            + encode_family(term.domain, env)
+            + encode_term(term.body, env + (term.var,))
+        )
+    if isinstance(term, App):
+        return b"\x13" + encode_term(term.func, env) + encode_term(term.arg, env)
+    if isinstance(term, PrincipalLit):
+        return b"\x14" + _blob(term.key_hash)
+    if isinstance(term, NatLit):
+        return b"\x15" + _uint(term.value)
+    raise TypeError(f"not an LF term: {term!r}")
+
+
+def encode_family(family: TypeFamily, env: tuple[str, ...] = ()) -> bytes:
+    if isinstance(family, TConst):
+        return b"\x20" + _ref(family.ref)
+    if isinstance(family, TApp):
+        return b"\x21" + encode_family(family.family, env) + encode_term(family.arg, env)
+    if isinstance(family, TPi):
+        return (
+            b"\x22"
+            + encode_family(family.domain, env)
+            + encode_family(family.body, env + (family.var,))
+        )
+    raise TypeError(f"not an LF family: {family!r}")
+
+
+def encode_kind(kind: KindT, env: tuple[str, ...] = ()) -> bytes:
+    if isinstance(kind, Kind):
+        return b"\x30" + (b"\x00" if kind.sort is KindSort.TYPE else b"\x01")
+    if isinstance(kind, KPi):
+        return (
+            b"\x31"
+            + encode_family(kind.domain, env)
+            + encode_kind(kind.body, env + (kind.var,))
+        )
+    raise TypeError(f"not an LF kind: {kind!r}")
+
+
+def encode_cond(cond: Condition, env: tuple[str, ...] = ()) -> bytes:
+    if isinstance(cond, CTrue):
+        return b"\x40"
+    if isinstance(cond, CAnd):
+        return b"\x41" + encode_cond(cond.left, env) + encode_cond(cond.right, env)
+    if isinstance(cond, CNot):
+        return b"\x42" + encode_cond(cond.body, env)
+    if isinstance(cond, Before):
+        return b"\x43" + encode_term(cond.time, env)
+    if isinstance(cond, Spent):
+        return b"\x44" + _blob(cond.txid) + _uint(cond.index)
+    raise TypeError(f"not a condition: {cond!r}")
+
+
+_BINARY_TAGS = {Lolli: b"\x51", Tensor: b"\x52", With: b"\x53", Plus: b"\x54"}
+
+
+def encode_prop(prop: Proposition, env: tuple[str, ...] = ()) -> bytes:
+    if isinstance(prop, Atom):
+        return b"\x50" + encode_family(prop.family, env)
+    tag = _BINARY_TAGS.get(type(prop))
+    if tag is not None:
+        if isinstance(prop, Lolli):
+            left, right = prop.antecedent, prop.consequent
+        else:
+            left, right = prop.left, prop.right  # type: ignore[union-attr]
+        return tag + encode_prop(left, env) + encode_prop(right, env)
+    if isinstance(prop, Zero):
+        return b"\x55"
+    if isinstance(prop, One):
+        return b"\x56"
+    if isinstance(prop, Bang):
+        return b"\x57" + encode_prop(prop.body, env)
+    if isinstance(prop, Forall):
+        return (
+            b"\x58"
+            + encode_family(prop.domain, env)
+            + encode_prop(prop.body, env + (prop.var,))
+        )
+    if isinstance(prop, Exists):
+        return (
+            b"\x59"
+            + encode_family(prop.domain, env)
+            + encode_prop(prop.body, env + (prop.var,))
+        )
+    if isinstance(prop, Says):
+        return b"\x5a" + encode_term(prop.principal, env) + encode_prop(prop.body, env)
+    if isinstance(prop, Receipt):
+        return (
+            b"\x5b"
+            + encode_prop(prop.prop, env)
+            + _uint(prop.amount)
+            + encode_term(prop.recipient, env)
+        )
+    if isinstance(prop, IfProp):
+        return b"\x5c" + encode_cond(prop.condition, env) + encode_prop(prop.body, env)
+    raise TypeError(f"not a proposition: {prop!r}")
+
+
+def encode_proof(term, env: tuple[str, ...] = (), lf_env: tuple[str, ...] = ()) -> bytes:
+    """Canonical encoding of a proof term (for Typecoin transaction hashes).
+
+    Proof variables and LF variables are tracked in separate binder
+    environments, both encoded as de Bruijn indices.
+    """
+    from repro.logic import proofterms as pt
+
+    def prf(sub, env2=env, lf2=lf_env):
+        return encode_proof(sub, env2, lf2)
+
+    def trm(sub, lf2=lf_env):
+        return encode_term(sub, lf2)
+
+    def prp(sub, lf2=lf_env):
+        return _encode_prop_env(sub, lf2)
+
+    if isinstance(term, pt.PVar):
+        for depth, name in enumerate(reversed(env)):
+            if name == term.name:
+                return b"\x60" + _uint(depth)
+        raise EncodingError(f"free proof variable {term.name}")
+    if isinstance(term, pt.PConst):
+        return b"\x61" + _ref(term.ref)
+    if isinstance(term, pt.LolliIntro):
+        return b"\x62" + prp(term.annotation) + prf(term.body, env + (term.var,))
+    if isinstance(term, pt.LolliElim):
+        return b"\x63" + prf(term.func) + prf(term.arg)
+    if isinstance(term, pt.TensorIntro):
+        return b"\x64" + prf(term.left) + prf(term.right)
+    if isinstance(term, pt.TensorElim):
+        return (
+            b"\x65"
+            + prf(term.scrutinee)
+            + prf(term.body, env + (term.left_var, term.right_var))
+        )
+    if isinstance(term, pt.WithIntro):
+        return b"\x66" + prf(term.left) + prf(term.right)
+    if isinstance(term, pt.WithFst):
+        return b"\x67" + prf(term.body)
+    if isinstance(term, pt.WithSnd):
+        return b"\x68" + prf(term.body)
+    if isinstance(term, pt.PlusInl):
+        return b"\x69" + prp(term.other) + prf(term.body)
+    if isinstance(term, pt.PlusInr):
+        return b"\x6a" + prp(term.other) + prf(term.body)
+    if isinstance(term, pt.PlusCase):
+        return (
+            b"\x6b"
+            + prf(term.scrutinee)
+            + prf(term.left_body, env + (term.left_var,))
+            + prf(term.right_body, env + (term.right_var,))
+        )
+    if isinstance(term, pt.OneIntro):
+        return b"\x6c"
+    if isinstance(term, pt.OneElim):
+        return b"\x6d" + prf(term.scrutinee) + prf(term.body)
+    if isinstance(term, pt.ZeroElim):
+        return b"\x6e" + prf(term.scrutinee) + prp(term.annotation)
+    if isinstance(term, pt.BangIntro):
+        return b"\x6f" + prf(term.body)
+    if isinstance(term, pt.BangElim):
+        return b"\x70" + prf(term.scrutinee) + prf(term.body, env + (term.var,))
+    if isinstance(term, pt.ForallIntro):
+        return (
+            b"\x71"
+            + encode_family(term.domain, lf_env)
+            + prf(term.body, env, lf_env + (term.var,))
+        )
+    if isinstance(term, pt.ForallElim):
+        return b"\x72" + prf(term.body) + trm(term.arg)
+    if isinstance(term, pt.ExistsIntro):
+        return b"\x73" + prp(term.annotation) + trm(term.witness) + prf(term.body)
+    if isinstance(term, pt.ExistsElim):
+        return (
+            b"\x74"
+            + prf(term.scrutinee)
+            + encode_proof(
+                term.body, env + (term.proof_var,), lf_env + (term.type_var,)
+            )
+        )
+    if isinstance(term, pt.SayReturn):
+        return b"\x75" + trm(term.principal) + prf(term.body)
+    if isinstance(term, pt.SayBind):
+        return b"\x76" + prf(term.scrutinee) + prf(term.body, env + (term.var,))
+    if isinstance(term, (pt.Assert, pt.AssertPersistent)):
+        tag = b"\x77" if isinstance(term, pt.Assert) else b"\x78"
+        return (
+            tag
+            + trm(term.principal)
+            + prp(term.prop)
+            + _blob(term.affirmation.pubkey)
+            + _blob(term.affirmation.signature)
+        )
+    if isinstance(term, pt.IfReturn):
+        return b"\x79" + encode_cond(term.condition, lf_env) + prf(term.body)
+    if isinstance(term, pt.IfBind):
+        return b"\x7a" + prf(term.scrutinee) + prf(term.body, env + (term.var,))
+    if isinstance(term, pt.IfWeaken):
+        return b"\x7b" + encode_cond(term.condition, lf_env) + prf(term.body)
+    if isinstance(term, pt.IfSay):
+        return b"\x7c" + prf(term.body)
+    raise TypeError(f"not a proof term: {term!r}")
+
+
+def _encode_prop_env(prop, lf_env: tuple[str, ...]) -> bytes:
+    return encode_prop(prop, lf_env)

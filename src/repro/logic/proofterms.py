@@ -1,0 +1,389 @@
+"""Proof terms of the affine logic (paper §4, Figure 1).
+
+"Most of the proof terms are the standard proof terms of affine logic.  In
+addition, there are four forms for affirmation [sayreturn, saybind, assert,
+assert!]" plus the four conditional-monad forms of §5 (ifreturn, ifbind,
+ifweaken, if/say).
+
+Introduction forms carry enough annotations that checking is syntax-directed
+type *synthesis*; :mod:`repro.logic.checker` implements the judgement
+``T;Σ;Ψ;Γ;Δ ⊢ M : A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.lf.syntax import ConstRef, Term, TypeFamily
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.logic.conditions import Condition
+    from repro.logic.propositions import Proposition
+
+
+@dataclass(frozen=True)
+class Affirmation:
+    """A digital signature packaged with the public key that made it.
+
+    Principals are key *hashes* (paper §4 fn. 6), so signatures must carry
+    the preimage key for verification.
+    """
+
+    pubkey: bytes  # compressed SEC1 encoding
+    signature: bytes  # 64-byte compact ECDSA
+
+
+@dataclass(frozen=True)
+class PVar:
+    """A proof variable (affine from Δ or persistent from Γ)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PConst:
+    """A proof constant declared in a basis (persistent)."""
+
+    ref: ConstRef
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class LolliIntro:
+    """λx:A.M : A ⊸ B."""
+
+    var: str
+    annotation: "Proposition"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"(λ{self.var}:{self.annotation}.{self.body})"
+
+
+@dataclass(frozen=True)
+class LolliElim:
+    """M N : B where M : A ⊸ B and N : A (disjoint resources)."""
+
+    func: "ProofTerm"
+    arg: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"({self.func} {self.arg})"
+
+
+@dataclass(frozen=True)
+class TensorIntro:
+    """M ⊗ N : A ⊗ B (disjoint resources)."""
+
+    left: "ProofTerm"
+    right: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"({self.left} ⊗ {self.right})"
+
+
+@dataclass(frozen=True)
+class TensorElim:
+    """let x ⊗ y = M in N."""
+
+    left_var: str
+    right_var: str
+    scrutinee: "ProofTerm"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return (
+            f"(let {self.left_var}⊗{self.right_var} = {self.scrutinee}"
+            f" in {self.body})"
+        )
+
+
+@dataclass(frozen=True)
+class WithIntro:
+    """(M, N) : A & B — both alternatives over the *same* resources."""
+
+    left: "ProofTerm"
+    right: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class WithFst:
+    """fst M : A from M : A & B."""
+
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"fst {self.body}"
+
+
+@dataclass(frozen=True)
+class WithSnd:
+    """snd M : B from M : A & B."""
+
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"snd {self.body}"
+
+
+@dataclass(frozen=True)
+class PlusInl:
+    """inl M : A ⊕ B (annotated with the absent side B)."""
+
+    other: "Proposition"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"inl {self.body}"
+
+
+@dataclass(frozen=True)
+class PlusInr:
+    """inr M : A ⊕ B (annotated with the absent side A)."""
+
+    other: "Proposition"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"inr {self.body}"
+
+
+@dataclass(frozen=True)
+class PlusCase:
+    """case M of inl x ⇒ N₁ | inr y ⇒ N₂ (branches share resources)."""
+
+    scrutinee: "ProofTerm"
+    left_var: str
+    left_body: "ProofTerm"
+    right_var: str
+    right_body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return (
+            f"(case {self.scrutinee} of inl {self.left_var} ⇒ {self.left_body}"
+            f" | inr {self.right_var} ⇒ {self.right_body})"
+        )
+
+
+@dataclass(frozen=True)
+class OneIntro:
+    """⟨⟩ : 1."""
+
+    def __str__(self) -> str:
+        return "⟨⟩"
+
+
+@dataclass(frozen=True)
+class OneElim:
+    """let ⟨⟩ = M in N."""
+
+    scrutinee: "ProofTerm"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"(let ⟨⟩ = {self.scrutinee} in {self.body})"
+
+
+@dataclass(frozen=True)
+class ZeroElim:
+    """abort M : C for any C, from M : 0."""
+
+    scrutinee: "ProofTerm"
+    annotation: "Proposition"
+
+    def __str__(self) -> str:
+        return f"abort {self.scrutinee}"
+
+
+@dataclass(frozen=True)
+class BangIntro:
+    """!M : !A — promotion; M may use no affine resources."""
+
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"!{self.body}"
+
+
+@dataclass(frozen=True)
+class BangElim:
+    """let !x = M in N — x becomes a persistent hypothesis in N."""
+
+    var: str
+    scrutinee: "ProofTerm"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"(let !{self.var} = {self.scrutinee} in {self.body})"
+
+
+@dataclass(frozen=True)
+class ForallIntro:
+    """Λu:τ.M : ∀u:τ.A."""
+
+    var: str
+    domain: TypeFamily
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"(Λ{self.var}:{self.domain}.{self.body})"
+
+
+@dataclass(frozen=True)
+class ForallElim:
+    """M [m] : [m/u]A from M : ∀u:τ.A."""
+
+    body: "ProofTerm"
+    arg: Term
+
+    def __str__(self) -> str:
+        return f"({self.body} [{self.arg}])"
+
+
+@dataclass(frozen=True)
+class ExistsIntro:
+    """pack(m, M) as ∃u:τ.A (the annotation fixes A)."""
+
+    annotation: "Proposition"  # the Exists proposition being introduced
+    witness: Term
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"pack({self.witness}, {self.body})"
+
+
+@dataclass(frozen=True)
+class ExistsElim:
+    """let (u, x) = unpack M in N."""
+
+    type_var: str
+    proof_var: str
+    scrutinee: "ProofTerm"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return (
+            f"(let ({self.type_var}, {self.proof_var}) ="
+            f" unpack {self.scrutinee} in {self.body})"
+        )
+
+
+@dataclass(frozen=True)
+class SayReturn:
+    """sayreturnₘ(M) : ⟨m⟩A — every principal affirms everything provable."""
+
+    principal: Term
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"sayreturn_{self.principal}({self.body})"
+
+
+@dataclass(frozen=True)
+class SayBind:
+    """saybind x ← M₁ in M₂ : ⟨m⟩B — reason under an affirmation."""
+
+    var: str
+    scrutinee: "ProofTerm"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"(saybind {self.var} ← {self.scrutinee} in {self.body})"
+
+
+@dataclass(frozen=True)
+class Assert:
+    """assert(K, A, sig) : ⟨K⟩A — affine affirmation; the signature covers
+    the enclosing transaction, so it cannot be replayed elsewhere."""
+
+    principal: Term  # must normalize to a PrincipalLit
+    prop: "Proposition"
+    affirmation: Affirmation
+
+    def __str__(self) -> str:
+        return f"assert({self.principal}, {self.prop}, …)"
+
+
+@dataclass(frozen=True)
+class AssertPersistent:
+    """assert!(K, A, sig) : ⟨K⟩A — persistent affirmation; the signature
+    covers only A, so it may be lifted out of its transaction."""
+
+    principal: Term
+    prop: "Proposition"
+    affirmation: Affirmation
+
+    def __str__(self) -> str:
+        return f"assert!({self.principal}, {self.prop}, …)"
+
+
+@dataclass(frozen=True)
+class IfReturn:
+    """ifreturn_φ(M) : if(φ, A) — weaken any A into a conditional."""
+
+    condition: "Condition"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"ifreturn_{self.condition}({self.body})"
+
+
+@dataclass(frozen=True)
+class IfBind:
+    """ifbind x ← M₁ in M₂ : if(φ, B)."""
+
+    var: str
+    scrutinee: "ProofTerm"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"(ifbind {self.var} ← {self.scrutinee} in {self.body})"
+
+
+@dataclass(frozen=True)
+class IfWeaken:
+    """ifweaken_φ(M) : if(φ, A) from M : if(φ′, A), when φ ⊃ φ′."""
+
+    condition: "Condition"
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"ifweaken_{self.condition}({self.body})"
+
+
+@dataclass(frozen=True)
+class IfSay:
+    """if/say(M) : if(φ, ⟨m⟩A) from M : ⟨m⟩if(φ, A).
+
+    The commutation runs only this direction; "the opposite direction ...
+    is semantically dubious and we do not include it" (§5).
+    """
+
+    body: "ProofTerm"
+
+    def __str__(self) -> str:
+        return f"if/say({self.body})"
+
+
+ProofTerm = Union[
+    PVar, PConst, LolliIntro, LolliElim, TensorIntro, TensorElim, WithIntro,
+    WithFst, WithSnd, PlusInl, PlusInr, PlusCase, OneIntro, OneElim, ZeroElim,
+    BangIntro, BangElim, ForallIntro, ForallElim, ExistsIntro, ExistsElim,
+    SayReturn, SayBind, Assert, AssertPersistent, IfReturn, IfBind, IfWeaken,
+    IfSay,
+]
+
+
+def let_(var: str, annotation: "Proposition", value: ProofTerm, body: ProofTerm) -> ProofTerm:
+    """``let x : A ← M in N`` — "a derived form built from lambda and
+    application" (paper §6.1, Figure 3)."""
+    return LolliElim(LolliIntro(var, annotation, body), value)

@@ -1,0 +1,139 @@
+"""Tests for the discrete-event network simulator and race models."""
+
+import random
+
+import pytest
+
+from repro.bitcoin.chain import ChainParams
+from repro.bitcoin.network import (
+    Node,
+    PoissonMiner,
+    Simulation,
+    build_network,
+    nakamoto_reversal_probability,
+    reversal_probability_exact,
+    simulate_race,
+    simulate_race_full,
+)
+from repro.bitcoin.pow import block_work, target_to_bits
+
+
+def total_rate_for_interval(interval=600.0):
+    return block_work(target_to_bits(2**252)) / interval
+
+
+class TestSimulation:
+    def test_events_fire_in_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(5, lambda: fired.append("b"))
+        sim.schedule(1, lambda: fired.append("a"))
+        sim.schedule(10, lambda: fired.append("c"))
+        sim.run_until(7)
+        assert fired == ["a", "b"]
+        assert sim.now == 7
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().schedule(-1, lambda: None)
+
+    def test_seeded_determinism(self):
+        def run(seed):
+            sim = Simulation(seed=seed)
+            nodes = build_network(sim, 3)
+            miner = PoissonMiner(nodes[0], total_rate_for_interval(), miner_id=1)
+            miner.start()
+            sim.run_until(3600)
+            return nodes[0].chain.tip.block.hash
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestGossip:
+    def test_blocks_propagate_to_all_nodes(self):
+        sim = Simulation(seed=1)
+        nodes = build_network(sim, 5)
+        miner = PoissonMiner(nodes[0], total_rate_for_interval(), miner_id=1)
+        miner.start()
+        sim.run_until(3600 * 4)
+        heights = {node.chain.height for node in nodes}
+        assert len(heights) == 1
+        assert heights.pop() > 0
+        tips = {node.chain.tip.block.hash for node in nodes}
+        assert len(tips) == 1
+
+    def test_competing_miners_converge(self):
+        sim = Simulation(seed=2)
+        nodes = build_network(sim, 4)
+        rate = total_rate_for_interval()
+        miners = [
+            PoissonMiner(nodes[i], rate / 4, miner_id=i) for i in range(4)
+        ]
+        for miner in miners:
+            miner.start()
+        sim.run_until(3600 * 8)
+        tips = {node.chain.tip.block.hash for node in nodes}
+        assert len(tips) == 1
+        assert sum(m.blocks_found for m in miners) >= nodes[0].chain.height
+
+    def test_block_interval_tracks_hashrate(self):
+        sim = Simulation(seed=3)
+        nodes = build_network(sim, 2)
+        miner = PoissonMiner(nodes[0], total_rate_for_interval(600), miner_id=1)
+        miner.start()
+        sim.run_until(600 * 400)
+        height = nodes[0].chain.height
+        mean_interval = sim.now / height
+        assert 450 < mean_interval < 800  # ~600 expected
+
+
+class TestRace:
+    def test_analytic_decreases_exponentially(self):
+        probs = [nakamoto_reversal_probability(0.1, z) for z in range(8)]
+        assert probs[0] == 1.0
+        for earlier, later in zip(probs[1:], probs[2:]):
+            assert later < earlier
+        # Six confirmations against a 10% attacker: well under a percent.
+        assert probs[6] < 0.001
+
+    def test_exact_matches_nakamoto_shape(self):
+        for q in (0.05, 0.15, 0.25):
+            for z in (1, 3, 5):
+                exact = reversal_probability_exact(q, z)
+                nak = nakamoto_reversal_probability(q, z)
+                assert exact == pytest.approx(nak, rel=0.75, abs=0.02)
+
+    def test_zero_attacker_never_wins(self):
+        assert nakamoto_reversal_probability(0.0, 3) == 0.0
+        assert reversal_probability_exact(0.0, 3) == 0.0
+        assert simulate_race(0.0, 3, 10, random.Random(0)) == 0.0
+
+    def test_zero_depth_always_reversible(self):
+        assert nakamoto_reversal_probability(0.2, 0) == 1.0
+        assert reversal_probability_exact(0.2, 0) == 1.0
+
+    def test_majority_attacker_rejected(self):
+        with pytest.raises(ValueError):
+            nakamoto_reversal_probability(0.6, 3)
+        with pytest.raises(ValueError):
+            reversal_probability_exact(0.5, 3)
+
+    def test_monte_carlo_matches_exact(self):
+        rng = random.Random(42)
+        estimate = simulate_race(0.2, 2, trials=3000, rng=rng)
+        exact = reversal_probability_exact(0.2, 2)
+        assert estimate == pytest.approx(exact, abs=0.03)
+
+    def test_full_simulation_race_runs(self):
+        outcome = simulate_race_full(0.3, 2, sim_seed=11, horizon_blocks=60)
+        assert outcome.honest_blocks > 0
+        assert outcome.duration > 0
+
+    def test_full_simulation_weak_attacker_loses(self):
+        # 5% attacker against 6 confirmations: overwhelmingly loses.
+        losses = sum(
+            not simulate_race_full(0.05, 6, sim_seed=s, horizon_blocks=30).attacker_won
+            for s in range(5)
+        )
+        assert losses == 5

@@ -1,0 +1,113 @@
+"""Tests for SIGHASH digest computation."""
+
+import pytest
+
+from repro.bitcoin.script import Script
+from repro.bitcoin.sighash import SigHashType, signature_hash
+from repro.bitcoin.standard import p2pkh_script
+from repro.bitcoin.transaction import OutPoint, Transaction, TxIn, TxOut
+
+
+def make_tx(n_in=2, n_out=2):
+    vin = [TxIn(OutPoint(bytes([i + 1]) * 32, i)) for i in range(n_in)]
+    vout = [TxOut(1000 * (i + 1), p2pkh_script(bytes([i]) * 20)) for i in range(n_out)]
+    return Transaction(vin, vout)
+
+
+CODE = p2pkh_script(b"\x07" * 20)
+
+
+def test_all_commits_to_outputs():
+    tx = make_tx()
+    base = signature_hash(tx, 0, CODE, SigHashType.ALL)
+    changed = Transaction(tx.vin, [tx.vout[0], TxOut(9999, tx.vout[1].script_pubkey)])
+    assert signature_hash(changed, 0, CODE, SigHashType.ALL) != base
+
+
+def test_none_ignores_outputs():
+    tx = make_tx()
+    base = signature_hash(tx, 0, CODE, SigHashType.NONE)
+    changed = Transaction(tx.vin, [TxOut(42, Script())])
+    assert signature_hash(changed, 0, CODE, SigHashType.NONE) == base
+
+
+def test_single_commits_to_matching_output_only():
+    tx = make_tx(2, 2)
+    base = signature_hash(tx, 0, CODE, SigHashType.SINGLE)
+    # Changing output 1 (not matching input 0) leaves the digest alone.
+    changed = Transaction(tx.vin, [tx.vout[0], TxOut(777, tx.vout[1].script_pubkey)])
+    assert signature_hash(changed, 0, CODE, SigHashType.SINGLE) == base
+    # Changing output 0 does not.
+    changed2 = Transaction(tx.vin, [TxOut(777, tx.vout[0].script_pubkey), tx.vout[1]])
+    assert signature_hash(changed2, 0, CODE, SigHashType.SINGLE) != base
+
+
+def test_single_bug_digest():
+    tx = make_tx(3, 1)
+    digest = signature_hash(tx, 2, CODE, SigHashType.SINGLE)
+    assert digest == (1).to_bytes(32, "little")
+
+
+def test_anyonecanpay_ignores_other_inputs():
+    tx = make_tx(2, 1)
+    hash_type = SigHashType.ALL | SigHashType.ANYONECANPAY
+    base = signature_hash(tx, 0, CODE, hash_type)
+    # Add a third input: digest for input 0 is unchanged.
+    extended = Transaction(
+        list(tx.vin) + [TxIn(OutPoint(b"\xaa" * 32, 7))], tx.vout
+    )
+    assert signature_hash(extended, 0, CODE, hash_type) == base
+
+
+def test_without_anyonecanpay_other_inputs_commit():
+    tx = make_tx(2, 1)
+    base = signature_hash(tx, 0, CODE, SigHashType.ALL)
+    extended = Transaction(
+        list(tx.vin) + [TxIn(OutPoint(b"\xaa" * 32, 7))], tx.vout
+    )
+    assert signature_hash(extended, 0, CODE, SigHashType.ALL) != base
+
+
+def test_different_inputs_get_different_digests():
+    tx = make_tx(2, 1)
+    assert signature_hash(tx, 0, CODE, SigHashType.ALL) != signature_hash(
+        tx, 1, CODE, SigHashType.ALL
+    )
+
+
+def test_script_code_commits():
+    tx = make_tx()
+    other_code = p2pkh_script(b"\x08" * 20)
+    assert signature_hash(tx, 0, CODE, SigHashType.ALL) != signature_hash(
+        tx, 0, other_code, SigHashType.ALL
+    )
+
+
+def test_hash_type_commits():
+    tx = make_tx()
+    assert signature_hash(tx, 0, CODE, SigHashType.ALL) != signature_hash(
+        tx, 0, CODE, SigHashType.NONE
+    )
+
+
+def test_input_index_out_of_range():
+    with pytest.raises(IndexError):
+        signature_hash(make_tx(1, 1), 5, CODE, SigHashType.ALL)
+
+
+def test_open_transaction_pattern():
+    """§7/§8: SIGHASH erasure lets blanks be filled without breaking sigs.
+
+    With ALL|ANYONECANPAY on input 0, another party can attach their own
+    input (the 'solution' txout) later; the digest input 0 signed is stable.
+    """
+    prize_input = TxIn(OutPoint(b"\x01" * 32, 0))
+    outputs = [TxOut(5000, p2pkh_script(b"\x99" * 20))]
+    open_tx = Transaction([prize_input], outputs)
+    hash_type = SigHashType.ALL | SigHashType.ANYONECANPAY
+    digest_before = signature_hash(open_tx, 0, CODE, hash_type)
+
+    filled = Transaction(
+        [prize_input, TxIn(OutPoint(b"\x02" * 32, 1))], outputs
+    )
+    assert signature_hash(filled, 0, CODE, hash_type) == digest_before

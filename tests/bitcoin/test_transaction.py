@@ -1,0 +1,106 @@
+"""Tests for transaction structure, serialization, and txids."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitcoin.script import Op, Script
+from repro.bitcoin.standard import p2pkh_script
+from repro.bitcoin.transaction import (
+    OutPoint,
+    Transaction,
+    TxIn,
+    TxOut,
+    read_varint,
+    varint,
+)
+
+
+def make_tx(n_in=1, n_out=1):
+    vin = [
+        TxIn(OutPoint(bytes([i]) * 32, i), Script([b"\x01"])) for i in range(n_in)
+    ]
+    vout = [TxOut(1000 * (i + 1), p2pkh_script(bytes([i]) * 20)) for i in range(n_out)]
+    return Transaction(vin, vout)
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, n):
+        value, offset = read_varint(varint(n), 0)
+        assert value == n
+        assert offset == len(varint(n))
+
+    def test_boundaries(self):
+        assert len(varint(0xFC)) == 1
+        assert len(varint(0xFD)) == 3
+        assert len(varint(0xFFFF)) == 3
+        assert len(varint(0x10000)) == 5
+        assert len(varint(0x100000000)) == 9
+
+
+class TestOutPoint:
+    def test_null_detection(self):
+        assert OutPoint.null().is_null
+        assert not OutPoint(b"\x01" * 32, 0).is_null
+
+    def test_ordering_and_hashability(self):
+        a = OutPoint(b"\x00" * 32, 0)
+        b = OutPoint(b"\x00" * 32, 1)
+        assert a < b
+        assert len({a, b, a}) == 2
+
+    def test_str_is_display_order(self):
+        op = OutPoint(bytes(range(32)), 5)
+        assert op.__str__().endswith(":5")
+
+
+class TestTransaction:
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_serialization_roundtrip(self, n_in, n_out):
+        tx = make_tx(n_in, n_out)
+        assert Transaction.parse(tx.serialize()) == tx
+
+    def test_txid_changes_with_content(self):
+        assert make_tx(1, 1).txid != make_tx(1, 2).txid
+
+    def test_txid_is_display_reversed(self):
+        tx = make_tx()
+        assert tx.txid_hex == tx.txid[::-1].hex()
+
+    def test_coinbase_detection(self):
+        coinbase = Transaction(
+            vin=[TxIn(OutPoint.null(), Script([b"\x00"]))],
+            vout=[TxOut(50, p2pkh_script(b"\x01" * 20))],
+        )
+        assert coinbase.is_coinbase
+        assert not make_tx().is_coinbase
+
+    def test_total_output_value(self):
+        assert make_tx(1, 3).total_output_value() == 1000 + 2000 + 3000
+
+    def test_outpoint_accessor(self):
+        tx = make_tx(1, 2)
+        assert tx.outpoint(1) == OutPoint(tx.txid, 1)
+        with pytest.raises(IndexError):
+            tx.outpoint(2)
+
+    def test_with_input_script_replaces_one(self):
+        tx = make_tx(2, 1)
+        new_script = Script([b"\xff"])
+        updated = tx.with_input_script(1, new_script)
+        assert updated.vin[1].script_sig == new_script
+        assert updated.vin[0].script_sig == tx.vin[0].script_sig
+        # Original is unchanged (immutability).
+        assert tx.vin[1].script_sig != new_script
+
+    def test_negative_locktime_version_roundtrip(self):
+        tx = Transaction(
+            vin=[TxIn(OutPoint(b"\x01" * 32, 0))],
+            vout=[TxOut(1, Script())],
+            version=2,
+            locktime=500_000,
+        )
+        parsed = Transaction.parse(tx.serialize())
+        assert parsed.version == 2
+        assert parsed.locktime == 500_000

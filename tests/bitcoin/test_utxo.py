@@ -1,0 +1,128 @@
+"""Tests for the unspent-txout table."""
+
+import pytest
+
+from repro.bitcoin.script import Op, Script
+from repro.bitcoin.standard import ScriptType, op_return_script, p2pkh_script
+from repro.bitcoin.transaction import OutPoint, Transaction, TxIn, TxOut
+from repro.bitcoin.utxo import BlockUndo, UTXOEntry, UTXOSet
+
+
+def entry(value=1000, height=0):
+    return UTXOEntry(TxOut(value, p2pkh_script(b"\x01" * 20)), height, False)
+
+
+def test_add_get_remove():
+    utxos = UTXOSet()
+    op = OutPoint(b"\x01" * 32, 0)
+    utxos.add(op, entry())
+    assert op in utxos
+    assert utxos.get(op).output.value == 1000
+    removed = utxos.remove(op)
+    assert removed.output.value == 1000
+    assert op not in utxos
+
+
+def test_duplicate_add_rejected():
+    utxos = UTXOSet()
+    op = OutPoint(b"\x01" * 32, 0)
+    utxos.add(op, entry())
+    with pytest.raises(ValueError, match="duplicate"):
+        utxos.add(op, entry())
+
+
+def test_double_remove_rejected():
+    utxos = UTXOSet()
+    op = OutPoint(b"\x01" * 32, 0)
+    utxos.add(op, entry())
+    utxos.remove(op)
+    with pytest.raises(KeyError):
+        utxos.remove(op)
+
+
+def make_spending_tx(prevout, n_out=2):
+    return Transaction(
+        vin=[TxIn(prevout)],
+        vout=[TxOut(100, p2pkh_script(bytes([i]) * 20)) for i in range(n_out)],
+    )
+
+
+def test_apply_transaction_spends_and_creates():
+    utxos = UTXOSet()
+    op = OutPoint(b"\x01" * 32, 0)
+    utxos.add(op, entry())
+    tx = make_spending_tx(op)
+    utxos.apply_transaction(tx, height=5)
+    assert op not in utxos
+    assert tx.outpoint(0) in utxos
+    assert tx.outpoint(1) in utxos
+    assert len(utxos) == 2
+
+
+def test_op_return_outputs_never_enter_table():
+    utxos = UTXOSet()
+    op = OutPoint(b"\x01" * 32, 0)
+    utxos.add(op, entry())
+    tx = Transaction(
+        vin=[TxIn(op)],
+        vout=[TxOut(0, op_return_script(b"data")), TxOut(100, p2pkh_script(b"\x02" * 20))],
+    )
+    utxos.apply_transaction(tx, height=1)
+    assert tx.outpoint(0) not in utxos
+    assert tx.outpoint(1) in utxos
+
+
+def test_undo_restores_exact_state():
+    utxos = UTXOSet()
+    op = OutPoint(b"\x01" * 32, 0)
+    original = entry(value=777, height=3)
+    utxos.add(op, original)
+    before = utxos.snapshot()
+
+    tx = make_spending_tx(op)
+    undo = BlockUndo()
+    utxos.apply_transaction(tx, height=5, undo=undo)
+    assert utxos.snapshot() != before
+
+    utxos.undo_block(undo)
+    assert utxos.snapshot() == before
+    assert utxos.get(op) == original
+
+
+def test_block_level_apply_and_undo():
+    utxos = UTXOSet()
+    coinbase = Transaction(
+        vin=[TxIn(OutPoint.null(), Script([b"\x01"]))],
+        vout=[TxOut(5000, p2pkh_script(b"\x03" * 20))],
+    )
+    spend = make_spending_tx(coinbase.outpoint(0))
+    # First block: coinbase only.
+    undo1 = utxos.apply_block_txs([coinbase], height=1)
+    snapshot = utxos.snapshot()
+    undo2 = utxos.apply_block_txs([spend], height=2)
+    utxos.undo_block(undo2)
+    assert utxos.snapshot() == snapshot
+    utxos.undo_block(undo1)
+    assert len(utxos) == 0
+
+
+def test_value_and_size_metrics():
+    utxos = UTXOSet()
+    utxos.add(OutPoint(b"\x01" * 32, 0), entry(value=100))
+    utxos.add(OutPoint(b"\x01" * 32, 1), entry(value=200))
+    assert utxos.total_value() == 300
+    assert utxos.serialized_size() > 0
+    counts = utxos.count_by_type()
+    assert counts[ScriptType.P2PKH] == 2
+
+
+def test_nonstandard_outputs_counted():
+    """Bogus-key outputs (the rejected §3.3 strategy) stay in the table."""
+    utxos = UTXOSet()
+    bogus = Script([b"\x99" * 33, Op.OP_CHECKSIG])  # not a valid pubkey shape? 33 bytes starting 0x99
+    utxos.add(
+        OutPoint(b"\x02" * 32, 0),
+        UTXOEntry(TxOut(1, bogus), 0, False),
+    )
+    counts = utxos.count_by_type()
+    assert ScriptType.NONSTANDARD in counts

@@ -1,0 +1,58 @@
+"""Shared fixtures for core integration tests: a funded regtest world."""
+
+import pytest
+
+from repro.bitcoin.regtest import RegtestNetwork
+from repro.core.builder import basis_publication
+from repro.core.currency import newcoin_basis, printing_press_grant
+from repro.core.validate import Ledger
+from repro.core.wallet import TypecoinClient
+
+
+@pytest.fixture
+def net():
+    return RegtestNetwork()
+
+
+@pytest.fixture
+def ledger():
+    return Ledger()
+
+
+@pytest.fixture
+def alice(net, ledger):
+    client = TypecoinClient(net, b"core-alice", ledger)
+    net.fund_wallet(client.wallet)
+    return client
+
+
+@pytest.fixture
+def bob(net, ledger):
+    client = TypecoinClient(net, b"core-bob", ledger)
+    net.fund_wallet(client.wallet)
+    return client
+
+
+@pytest.fixture
+def bank(net, ledger):
+    client = TypecoinClient(net, b"core-bank", ledger)
+    net.fund_wallet(client.wallet)
+    return client
+
+
+def publish_newcoin(net, bank, president_term=None, grant=None):
+    """Publish the §6 newcoin basis from the bank; returns (vocab, txid).
+
+    ``president_term`` defaults to the bank itself acting as president.
+    """
+    president = president_term or bank.principal_term
+    basis, vocab = newcoin_basis(bank.principal_term, president)
+    txn = basis_publication(
+        basis,
+        bank.pubkey,
+        grant=grant(vocab) if grant is not None else None,
+    )
+    carrier = bank.submit(txn)
+    net.confirm(1)
+    bank.sync()
+    return vocab.resolved(carrier.txid), carrier.txid, txn

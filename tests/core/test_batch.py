@@ -1,0 +1,252 @@
+"""Tests for the §3.2 batch-mode credential server."""
+
+import pytest
+
+from repro.bitcoin.transaction import OutPoint
+from repro.core.batch import (
+    BatchError,
+    BatchServer,
+    VirtualOutput,
+    VirtualTransaction,
+    WriteThroughRequired,
+    authorize,
+)
+from repro.core.builder import build_with_payload, simple_transfer
+from repro.core.currency import issue_proof, merge_proof, split_proof
+from repro.core.proofs import obligation_lambda, tensor_intro_all
+from repro.core.transaction import TypecoinOutput
+from repro.core.verifier import verify_claim
+from repro.lf.basis import Basis
+from repro.lf.syntax import fresh_name
+from repro.logic.conditions import Before, CTrue
+from repro.logic.proofterms import (
+    IfReturn,
+    LolliIntro,
+    OneIntro,
+    PVar,
+    TensorIntro,
+)
+from repro.lf.syntax import NatLit
+from repro.logic.propositions import Lolli, One, Tensor, props_equal
+
+from tests.core.conftest import publish_newcoin
+
+
+@pytest.fixture
+def server(net, ledger):
+    server = BatchServer(net, b"batch-server", ledger)
+    net.fund_wallet(server.client.wallet)
+    return server
+
+
+def issue_to(net, bank, vocab, amount, recipient_pubkey, sats=600):
+    """Issue coins straight to a recipient's key; returns the outpoint."""
+    out = TypecoinOutput(vocab.coin_prop(amount), sats, recipient_pubkey)
+    txn = build_with_payload(
+        Basis(), One(), [], [out],
+        lambda payload: obligation_lambda(
+            One(), [], [out.receipt()],
+            lambda _c, _i, _r: tensor_intro_all([
+                issue_proof(
+                    vocab, amount,
+                    bank.affirm_affine(vocab.print_prop(amount), payload),
+                )
+            ]),
+        ),
+    )
+    carrier = bank.submit(txn)
+    net.confirm(1)
+    bank.sync()
+    return OutPoint(carrier.txid, 0), txn
+
+
+class TestDeposit:
+    def test_deposit_accepted(self, net, bank, server):
+        vocab, _, _ = publish_newcoin(net, bank)
+        outpoint, _ = issue_to(net, bank, vocab, 10, server.pubkey)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(10))
+        rid = server.deposit(bundle, owner=bank.principal)
+        holding = server.query(rid)
+        assert holding is not None
+        assert props_equal(holding.prop, vocab.coin_prop(10))
+        assert holding.owner == bank.principal
+
+    def test_deposit_to_wrong_key_rejected(self, net, bank, alice, server):
+        vocab, _, _ = publish_newcoin(net, bank)
+        outpoint, _ = issue_to(net, bank, vocab, 10, alice.pubkey)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(10))
+        with pytest.raises(BatchError, match="not locked to the server"):
+            server.deposit(bundle, owner=alice.principal)
+
+    def test_bogus_claim_rejected(self, net, bank, server):
+        vocab, _, _ = publish_newcoin(net, bank)
+        outpoint, _ = issue_to(net, bank, vocab, 10, server.pubkey)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(11))  # wrong type
+        with pytest.raises(BatchError, match="deposit rejected"):
+            server.deposit(bundle, owner=bank.principal)
+
+
+class TestVirtualTransactions:
+    def deposited_coin(self, net, bank, server, vocab, amount, owner, sats=600):
+        outpoint, _ = issue_to(net, bank, vocab, amount, server.pubkey, sats=sats)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(amount))
+        return server.deposit(bundle, owner=owner)
+
+    def test_split_virtually(self, net, bank, server):
+        """A batch-mode split costs no fee and confirms instantly."""
+        vocab, _, _ = publish_newcoin(net, bank)
+        rid = self.deposited_coin(net, bank, server, vocab, 10, bank.principal, sats=1200)
+        height_before = net.chain.height
+        vtx = VirtualTransaction(
+            inputs=[rid],
+            outputs=[
+                VirtualOutput(vocab.coin_prop(4), 600, bank.principal),
+                VirtualOutput(vocab.coin_prop(6), 600, bank.principal),
+            ],
+            proof=LolliIntro(
+                "x", vocab.coin_prop(10), split_proof(vocab, 4, 6, PVar("x"))
+            ),
+        )
+        server.transact(vtx, {bank.principal: authorize(bank.key, vtx)})
+        holdings = server.holdings_of(bank.principal)
+        assert len(holdings) == 2
+        # No blocks were mined: batch mode avoided the chain entirely.
+        assert net.chain.height == height_before
+
+    def test_unauthorized_spend_rejected(self, net, bank, alice, server):
+        vocab, _, _ = publish_newcoin(net, bank)
+        rid = self.deposited_coin(net, bank, server, vocab, 10, bank.principal)
+        vtx = VirtualTransaction(
+            inputs=[rid],
+            outputs=[VirtualOutput(vocab.coin_prop(10), 600, alice.principal)],
+            proof=LolliIntro("x", vocab.coin_prop(10), PVar("x")),
+        )
+        # Alice signs, but she does not own the resource.
+        with pytest.raises(BatchError, match="authorization"):
+            server.transact(vtx, {bank.principal: authorize(alice.key, vtx)})
+        with pytest.raises(BatchError, match="authorization"):
+            server.transact(vtx, {})
+
+    def test_bad_proof_rejected(self, net, bank, server):
+        vocab, _, _ = publish_newcoin(net, bank)
+        rid = self.deposited_coin(net, bank, server, vocab, 10, bank.principal)
+        vtx = VirtualTransaction(
+            inputs=[rid],
+            outputs=[VirtualOutput(vocab.coin_prop(11), 600, bank.principal)],
+            proof=LolliIntro("x", vocab.coin_prop(10), PVar("x")),
+        )
+        with pytest.raises(BatchError, match="wrong resources"):
+            server.transact(vtx, {bank.principal: authorize(bank.key, vtx)})
+
+    def test_conditional_requires_write_through(self, net, bank, server):
+        """§5: "batch-mode servers must write transactions discharging
+        anything other than true through to the blockchain." """
+        vocab, _, _ = publish_newcoin(net, bank)
+        rid = self.deposited_coin(net, bank, server, vocab, 10, bank.principal)
+        from repro.logic.propositions import IfProp
+
+        vtx = VirtualTransaction(
+            inputs=[rid],
+            outputs=[VirtualOutput(vocab.coin_prop(10), 600, bank.principal)],
+            proof=LolliIntro(
+                "x", vocab.coin_prop(10),
+                IfReturn(Before(NatLit(2_000_000_000)), PVar("x")),
+            ),
+        )
+        with pytest.raises(WriteThroughRequired):
+            server.transact(vtx, {bank.principal: authorize(bank.key, vtx)})
+
+    def test_double_spend_of_held_resource_rejected(self, net, bank, server):
+        vocab, _, _ = publish_newcoin(net, bank)
+        rid = self.deposited_coin(net, bank, server, vocab, 10, bank.principal)
+        vtx = VirtualTransaction(
+            inputs=[rid],
+            outputs=[VirtualOutput(vocab.coin_prop(10), 600, bank.principal)],
+            proof=LolliIntro("x", vocab.coin_prop(10), PVar("x")),
+        )
+        server.transact(vtx, {bank.principal: authorize(bank.key, vtx)})
+        with pytest.raises(BatchError, match="no longer held"):
+            server.transact(vtx, {bank.principal: authorize(bank.key, vtx)})
+
+
+class TestWithdraw:
+    def test_withdraw_direct_holding(self, net, bank, server):
+        vocab, _, _ = publish_newcoin(net, bank)
+        outpoint, _ = issue_to(net, bank, vocab, 10, server.pubkey)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(10))
+        rid = server.deposit(bundle, owner=bank.principal)
+        carrier = server.withdraw(rid, bank.pubkey)
+        net.confirm(1)
+        server.sync()
+        entry = server.client.ledger.output(carrier.txid, 0)
+        assert props_equal(entry.prop, vocab.coin_prop(10))
+        assert entry.principal == bank.principal
+        assert server.query(rid) is None
+
+    def test_withdraw_after_virtual_history(self, net, bank, alice, server):
+        """Deposit, split virtually, pay Alice virtually, Alice withdraws.
+
+        The single on-chain transaction the server writes batches the whole
+        virtual history, routes Alice's coin to her key and the rest back
+        to the server (§3.2).
+        """
+        vocab, _, _ = publish_newcoin(net, bank)
+        outpoint, _ = issue_to(net, bank, vocab, 10, server.pubkey, sats=1200)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(10))
+        rid = server.deposit(bundle, owner=bank.principal)
+
+        split_vtx = VirtualTransaction(
+            inputs=[rid],
+            outputs=[
+                VirtualOutput(vocab.coin_prop(4), 600, alice.principal),
+                VirtualOutput(vocab.coin_prop(6), 600, bank.principal),
+            ],
+            proof=LolliIntro(
+                "x", vocab.coin_prop(10), split_proof(vocab, 4, 6, PVar("x"))
+            ),
+        )
+        server.transact(
+            split_vtx, {bank.principal: authorize(bank.key, split_vtx)}
+        )
+        alice_rid = next(iter(server.holdings_of(alice.principal)))
+
+        carrier = server.withdraw(alice_rid, alice.pubkey)
+        net.confirm(1)
+        server.sync()
+
+        # Output 0: Alice's coin 4.  Output 1: the bank's coin 6, back
+        # under the server's key.
+        entry0 = server.client.ledger.output(carrier.txid, 0)
+        assert props_equal(entry0.prop, vocab.coin_prop(4))
+        assert entry0.principal == alice.principal
+        entry1 = server.client.ledger.output(carrier.txid, 1)
+        assert props_equal(entry1.prop, vocab.coin_prop(6))
+        assert entry1.principal == server.principal
+        # The bank's remaining coin is still held (rebound to the new txout).
+        bank_holdings = server.holdings_of(bank.principal)
+        assert len(bank_holdings) == 1
+        assert props_equal(
+            next(iter(bank_holdings.values())).prop, vocab.coin_prop(6)
+        )
+
+    def test_withdrawn_output_verifiable_by_third_party(self, net, bank, alice, server):
+        """The withdrawn txout passes the full §3 claim protocol."""
+        vocab, _, _ = publish_newcoin(net, bank)
+        outpoint, _ = issue_to(net, bank, vocab, 10, server.pubkey)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(10))
+        rid = server.deposit(bundle, owner=bank.principal)
+        carrier = server.withdraw(rid, bank.pubkey)
+        net.confirm(1)
+        server.sync()
+        claim = server.client.claim_bundle(
+            OutPoint(carrier.txid, 0), vocab.coin_prop(10)
+        )
+        verify_claim(net.chain, claim)
+
+    def test_withdraw_wrong_owner_key_rejected(self, net, bank, alice, server):
+        vocab, _, _ = publish_newcoin(net, bank)
+        outpoint, _ = issue_to(net, bank, vocab, 10, server.pubkey)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(10))
+        rid = server.deposit(bundle, owner=bank.principal)
+        with pytest.raises(BatchError, match="does not match the owner"):
+            server.withdraw(rid, alice.pubkey)

@@ -1,0 +1,86 @@
+"""Tests for fallback transaction lists (§5)."""
+
+import pytest
+
+from repro.core.builder import simple_transfer
+from repro.core.fallback import FallbackError, FallbackList
+from repro.core.proofs import obligation_lambda
+from repro.core.transaction import TypecoinInput, TypecoinOutput, TypecoinTransaction
+from repro.core.validate import Ledger, check_typecoin_transaction
+from repro.lf.basis import Basis, KindDecl
+from repro.lf.syntax import KIND_PROP, NatLit
+from repro.logic.conditions import Before, WorldView
+from repro.logic.proofterms import IfReturn, OneIntro
+from repro.logic.propositions import One
+
+PUBKEY_A = b"\x02" + b"\x11" * 32
+PUBKEY_B = b"\x02" + b"\x22" * 32
+
+
+def conditional_txn(deadline, recipient=PUBKEY_A):
+    out = TypecoinOutput(One(), 600, recipient)
+    proof = obligation_lambda(
+        One(), [], [out.receipt()],
+        lambda _c, _i, _r: IfReturn(Before(NatLit(deadline)), OneIntro()),
+    )
+    return TypecoinTransaction(Basis(), One(), [], [out], proof)
+
+
+def plain_txn(recipient=PUBKEY_A, amount=600):
+    return simple_transfer([], [TypecoinOutput(One(), amount, recipient)])
+
+
+class TestCarrierImageAgreement:
+    def test_same_image_accepted(self):
+        FallbackList(conditional_txn(100), [plain_txn()])
+
+    def test_output_principal_mismatch_rejected(self):
+        """"they must agree on ... the output principals"."""
+        with pytest.raises(FallbackError, match="principals or amounts"):
+            FallbackList(conditional_txn(100), [plain_txn(recipient=PUBKEY_B)])
+
+    def test_output_amount_mismatch_rejected(self):
+        with pytest.raises(FallbackError, match="principals or amounts"):
+            FallbackList(conditional_txn(100), [plain_txn(amount=700)])
+
+    def test_input_mismatch_rejected(self):
+        primary = plain_txn()
+        divergent = simple_transfer(
+            [TypecoinInput(b"\x03" * 32, 0, One(), 600)],
+            [TypecoinOutput(One(), 600, PUBKEY_A)],
+        )
+        with pytest.raises(FallbackError, match="input"):
+            FallbackList(primary, [divergent])
+
+
+class TestSelection:
+    def test_primary_selected_while_valid(self):
+        fallback_list = FallbackList(conditional_txn(1_000), [plain_txn()])
+        index, txn = fallback_list.select_valid(Ledger(), WorldView.at_time(500))
+        assert index == 0
+
+    def test_fallback_selected_after_expiry(self):
+        """"If the primary transaction turns out to be invalid, the first
+        valid fallback transaction is used instead." """
+        fallback_list = FallbackList(conditional_txn(1_000), [plain_txn()])
+        index, txn = fallback_list.select_valid(
+            Ledger(), WorldView.at_time(2_000)
+        )
+        assert index == 1
+
+    def test_ordered_fallbacks(self):
+        fallback_list = FallbackList(
+            conditional_txn(1_000),
+            [conditional_txn(5_000), plain_txn()],
+        )
+        assert fallback_list.select_valid(Ledger(), WorldView.at_time(500))[0] == 0
+        assert fallback_list.select_valid(Ledger(), WorldView.at_time(3_000))[0] == 1
+        assert fallback_list.select_valid(Ledger(), WorldView.at_time(9_000))[0] == 2
+
+    def test_all_invalid_spoils_inputs(self):
+        fallback_list = FallbackList(
+            conditional_txn(1_000), [conditional_txn(2_000)]
+        )
+        assert fallback_list.select_valid(
+            Ledger(), WorldView.at_time(10_000)
+        ) is None

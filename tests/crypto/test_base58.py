@@ -1,0 +1,54 @@
+"""Tests for base58check encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.base58 import (
+    Base58Error,
+    b58check_decode,
+    b58check_encode,
+    b58decode,
+    b58encode,
+)
+
+
+@given(st.binary(max_size=64))
+def test_b58_roundtrip(data):
+    assert b58decode(b58encode(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=40), st.integers(min_value=0, max_value=255))
+def test_b58check_roundtrip(payload, version):
+    version_out, payload_out = b58check_decode(b58check_encode(payload, version))
+    assert version_out == version
+    assert payload_out == payload
+
+
+def test_leading_zeros_preserved():
+    data = b"\x00\x00\x01\x02"
+    assert b58decode(b58encode(data)) == data
+    assert b58encode(data).startswith("11")
+
+
+def test_invalid_character_rejected():
+    with pytest.raises(Base58Error):
+        b58decode("0OIl")
+
+
+def test_checksum_failure_detected():
+    encoded = b58check_encode(b"\x01" * 20, version=0x6F)
+    # Corrupt one character (swap between two alphabet letters).
+    corrupted = ("2" if encoded[-1] != "2" else "3") + encoded[1:]
+    with pytest.raises(Base58Error):
+        b58check_decode(corrupted)
+
+
+def test_too_short_rejected():
+    with pytest.raises(Base58Error):
+        b58check_decode("11")
+
+
+def test_known_vector():
+    # 20 zero bytes with version 0 is the canonical "burn" address prefix.
+    encoded = b58check_encode(b"\x00" * 20, version=0x00)
+    assert encoded == "1111111111111111111114oLvT2"

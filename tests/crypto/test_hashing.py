@@ -1,0 +1,71 @@
+"""Tests for SHA-256d, RIPEMD-160, and HASH160."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import hash160, ripemd160, sha256, sha256d
+from repro.crypto.ripemd160 import ripemd160_pure
+
+# Official RIPEMD-160 test vectors from the Dobbertin/Bosselaers/Preneel spec.
+RIPEMD_VECTORS = [
+    (b"", "9c1185a5c5e9fc54612808977ee8f548b2258d31"),
+    (b"a", "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe"),
+    (b"abc", "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc"),
+    (b"message digest", "5d0689ef49d2fae572b881b123a85ffa21595f36"),
+    (b"abcdefghijklmnopqrstuvwxyz", "f71c27109c692c1b56bbdceb5b9d2865b3708dbc"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "12a053384a9c0c88e405a06c27dcf49ada62eb2b",
+    ),
+    (
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "b0e20b6e3116640286ed3a87a5713079b21f5189",
+    ),
+    (b"1234567890" * 8, "9b752e45573d4b39f4dbd3323cab82bf63326bfb"),
+]
+
+
+@pytest.mark.parametrize("message,expected", RIPEMD_VECTORS)
+def test_ripemd160_pure_vectors(message, expected):
+    assert ripemd160_pure(message).hex() == expected
+
+
+def test_ripemd160_million_a():
+    assert ripemd160_pure(b"a" * 1_000_000).hex() == (
+        "52783243c1697bdbe16d37f97f68f08325dc1528"
+    )
+
+
+@given(st.binary(max_size=300))
+def test_ripemd160_matches_openssl_when_available(data):
+    try:
+        h = hashlib.new("ripemd160")
+    except ValueError:
+        pytest.skip("OpenSSL lacks ripemd160")
+    h.update(data)
+    assert ripemd160_pure(data) == h.digest()
+
+
+def test_sha256_matches_hashlib():
+    assert sha256(b"typecoin") == hashlib.sha256(b"typecoin").digest()
+
+
+def test_sha256d_is_double_hash():
+    assert sha256d(b"x") == hashlib.sha256(hashlib.sha256(b"x").digest()).digest()
+
+
+def test_hash160_composition():
+    data = b"\x02" + b"\x11" * 32
+    assert hash160(data) == ripemd160(sha256(data))
+
+
+def test_hash160_length():
+    assert len(hash160(b"anything")) == 20
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_sha256d_injective_in_practice(a, b):
+    if a != b:
+        assert sha256d(a) != sha256d(b)

@@ -1,0 +1,31 @@
+"""Shared fixtures for logic tests: a basis with the coin family."""
+
+import pytest
+
+from repro.lf.basis import KindDecl, NAT_T, builtin_basis
+from repro.lf.syntax import (
+    KIND_PROP,
+    KPi,
+    ConstRef,
+    NatLit,
+    TConst,
+    THIS,
+    apply_family,
+)
+from repro.logic.propositions import Atom
+
+COIN_REF = ConstRef(THIS, "coin")
+
+
+@pytest.fixture
+def basis():
+    """The builtin basis plus a local ``coin : nat → prop``."""
+    b = builtin_basis()
+    b.declare(COIN_REF, KindDecl(KPi("n", NAT_T, KIND_PROP)))
+    return b
+
+
+def coin(n) -> Atom:
+    """The atomic proposition ``coin n``."""
+    index = NatLit(n) if isinstance(n, int) else n
+    return Atom(apply_family(TConst(COIN_REF), index))

@@ -1,0 +1,178 @@
+"""Tests for the freshness check (§4, Appendix A)."""
+
+import pytest
+
+from repro.lf.basis import Basis, KindDecl, NAT_T, PropDecl, TypeDecl, PLUS
+from repro.lf.syntax import (
+    BUILTIN,
+    KIND_PROP,
+    KIND_TYPE,
+    ConstRef,
+    KPi,
+    NatLit,
+    PrincipalLit,
+    TApp,
+    TConst,
+    THIS,
+    Var,
+    apply_family,
+    arrow,
+)
+from repro.logic.conditions import Before, CTrue
+from repro.logic.freshness import (
+    FreshnessError,
+    check_basis_fresh,
+    check_prop_fresh,
+    family_fresh,
+    prop_fresh,
+)
+from repro.logic.propositions import (
+    Bang,
+    Exists,
+    Forall,
+    IfProp,
+    Lolli,
+    One,
+    Plus,
+    Receipt,
+    Says,
+    Tensor,
+    With,
+    Zero,
+)
+
+from tests.logic.conftest import COIN_REF, coin
+
+ALICE = PrincipalLit(b"\xaa" * 20)
+NONLOCAL = ConstRef(b"\x99" * 32, "coin")
+
+
+def nonlocal_coin(n):
+    from repro.logic.propositions import Atom
+
+    return Atom(TApp(TConst(NONLOCAL), NatLit(n)))
+
+
+class TestFamilyFreshness:
+    def test_local_head_fresh(self):
+        assert family_fresh(TConst(COIN_REF))
+        assert family_fresh(TApp(TConst(COIN_REF), NatLit(1)))
+
+    def test_nonlocal_head_not_fresh(self):
+        assert not family_fresh(TConst(NONLOCAL))
+        assert not family_fresh(TConst(PLUS))
+
+    def test_pi_checks_codomain_only(self):
+        # Π over a non-local domain with local codomain: fresh.
+        fresh = arrow(TConst(PLUS), TConst(COIN_REF))
+        assert family_fresh(fresh)
+        # The reverse is not.
+        stale = arrow(TConst(COIN_REF), TConst(PLUS))
+        assert not family_fresh(stale)
+
+
+class TestPropFreshness:
+    def test_local_atom_fresh(self):
+        assert prop_fresh(coin(1))
+
+    def test_nonlocal_atom_restricted(self):
+        assert not prop_fresh(nonlocal_coin(1))
+
+    def test_restricted_left_of_lolli_ok(self):
+        """Restricted forms "can be consumed but not produced"."""
+        assert prop_fresh(Lolli(nonlocal_coin(1), coin(1)))
+        assert prop_fresh(Lolli(Says(ALICE, One()), coin(1)))
+        assert prop_fresh(Lolli(Receipt(One(), 5, ALICE), coin(1)))
+        assert prop_fresh(Lolli(Zero(), coin(1)))
+
+    def test_restricted_right_of_lolli_rejected(self):
+        assert not prop_fresh(Lolli(coin(1), nonlocal_coin(1)))
+        assert not prop_fresh(Lolli(coin(1), Says(ALICE, One())))
+        assert not prop_fresh(Lolli(coin(1), Receipt(One(), 5, ALICE)))
+        assert not prop_fresh(Lolli(coin(1), Zero()))
+
+    def test_zero_restricted(self):
+        assert not prop_fresh(Zero())
+
+    def test_one_unrestricted(self):
+        """§4: "This is legal, since 1 is not a restricted form." """
+        assert prop_fresh(One())
+        assert prop_fresh(Lolli(coin(1), One()))
+
+    def test_affirmations_restricted(self):
+        assert not prop_fresh(Says(ALICE, coin(1)))
+
+    def test_receipts_restricted(self):
+        assert not prop_fresh(Receipt(coin(1), 0, ALICE))
+
+    def test_multiplicatives_check_both_sides(self):
+        assert prop_fresh(Tensor(coin(1), coin(2)))
+        assert not prop_fresh(Tensor(coin(1), nonlocal_coin(2)))
+        assert not prop_fresh(With(nonlocal_coin(1), coin(2)))
+        assert not prop_fresh(Plus(coin(1), nonlocal_coin(2)))
+
+    def test_quantifiers(self):
+        assert prop_fresh(Forall("n", NAT_T, coin(Var("n"))))
+        assert not prop_fresh(Forall("n", NAT_T, nonlocal_coin(1)))
+        # ∃ additionally requires the domain to be fresh.
+        local_family = TConst(COIN_REF)
+        assert not prop_fresh(
+            Exists("x", apply_family(TConst(PLUS), NatLit(1), NatLit(1), NatLit(2)), One())
+        )
+
+    def test_bang_and_if_descend(self):
+        assert prop_fresh(Bang(coin(1)))
+        assert not prop_fresh(Bang(nonlocal_coin(1)))
+        assert prop_fresh(IfProp(Before(NatLit(10)), coin(1)))
+        assert not prop_fresh(IfProp(CTrue(), nonlocal_coin(1)))
+
+    def test_newcoin_bank_grants_are_fresh(self):
+        """The §6 idioms: both printing-press grants pass the check."""
+        press = Forall("n", NAT_T, coin(Var("n")))
+        assert prop_fresh(press)
+        fixed_supply = coin(1_000_000_000)
+        assert prop_fresh(fixed_supply)
+        whimsical = Bang(coin(1))
+        assert prop_fresh(whimsical)
+
+    def test_check_prop_fresh_raises(self):
+        with pytest.raises(FreshnessError):
+            check_prop_fresh(Says(ALICE, One()))
+
+
+class TestBasisFreshness:
+    def test_kind_declarations_always_fresh(self):
+        basis = Basis()
+        basis.declare_local("coin", KindDecl(KPi("n", NAT_T, KIND_PROP)))
+        check_basis_fresh(basis)
+
+    def test_fresh_prop_declaration(self):
+        basis = Basis()
+        basis.declare_local("coin", KindDecl(KPi("n", NAT_T, KIND_PROP)))
+        basis.declare_local(
+            "mint", PropDecl(Lolli(nonlocal_coin(1), coin(1)))
+        )
+        check_basis_fresh(basis)
+
+    def test_unfresh_prop_declaration_rejected(self):
+        basis = Basis()
+        basis.declare_local("forge", PropDecl(Lolli(One(), nonlocal_coin(1))))
+        with pytest.raises(FreshnessError, match="freshness"):
+            check_basis_fresh(basis)
+
+    def test_nonlocal_name_rejected(self):
+        basis = Basis()
+        basis.declare(ConstRef(b"\x88" * 32, "x"), TypeDecl(NAT_T))
+        with pytest.raises(FreshnessError, match="this"):
+            check_basis_fresh(basis)
+
+    def test_term_declaration_needs_fresh_family(self):
+        basis = Basis()
+        # Declaring a new inhabitant of the *builtin* plus family would let a
+        # transaction forge arithmetic facts.
+        basis.declare_local(
+            "fake",
+            TypeDecl(apply_family(TConst(PLUS), NatLit(1), NatLit(1), NatLit(3))),
+        )
+        with pytest.raises(FreshnessError):
+            check_basis_fresh(basis)

@@ -1,0 +1,89 @@
+"""Tests for the surface lexer."""
+
+import pytest
+
+from repro.surface.lexer import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_empty_source():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_identifiers_and_numbers():
+    assert kinds("coin 42") == [TokenKind.IDENT, TokenKind.NUMBER]
+
+
+def test_operators():
+    assert kinds("-o -> ->> * & + ! ~ /\\ /") == [
+        TokenKind.LOLLI,
+        TokenKind.ARROW,
+        TokenKind.SENDS,
+        TokenKind.STAR,
+        TokenKind.AMP,
+        TokenKind.PLUS,
+        TokenKind.BANG,
+        TokenKind.TILDE,
+        TokenKind.WEDGE,
+        TokenKind.SLASH,
+    ]
+
+
+def test_maximal_munch_arrow_family():
+    # "->>" must lex as SENDS, not ARROW then '>'.
+    assert kinds("->>") == [TokenKind.SENDS]
+
+
+def test_principal_literal():
+    text = "#" + "ab" * 20
+    [token] = tokenize(text)[:-1]
+    assert token.kind is TokenKind.PRINCIPAL
+    assert token.text == "ab" * 20
+
+
+def test_short_hash_is_comment():
+    # Fewer than 40 hex digits after '#': it's a comment.
+    assert kinds("coin #deadbeef\n42") == [TokenKind.IDENT, TokenKind.NUMBER]
+
+
+def test_comment_to_end_of_line():
+    assert kinds("# a comment with -o and * inside\ncoin") == [TokenKind.IDENT]
+
+
+def test_hexblob():
+    [token] = tokenize("0x11aaBB")[:-1]
+    assert token.kind is TokenKind.HEXBLOB
+    assert token.text == "11aabb"
+
+
+def test_empty_hexblob_rejected():
+    with pytest.raises(LexError, match="hex"):
+        tokenize("0x")
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError, match="unexpected"):
+        tokenize("coin @ 5")
+
+
+def test_positions_tracked():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_keywords_flagged():
+    [token] = tokenize("forall")[:-1]
+    assert token.is_keyword
+    [token] = tokenize("forallx")[:-1]
+    assert not token.is_keyword
+
+
+def test_primes_in_identifiers():
+    [token] = tokenize("x'")[:-1]
+    assert token.text == "x'"
