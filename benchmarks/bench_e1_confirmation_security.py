@@ -84,3 +84,12 @@ def bench_e1_full_consensus_spot_check(benchmark):
           f" {exact:.2f} (q=0.30, z=2)")
     # Wide tolerance: 12 trials of a ~0.43 Bernoulli.
     assert abs(win_rate - exact) < 0.35
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(
+        bench_e1_reversal_probability_models,
+        bench_e1_full_consensus_spot_check,
+    )

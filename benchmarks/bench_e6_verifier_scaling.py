@@ -74,3 +74,9 @@ def bench_e6_verifier_scaling(benchmark):
     benchmark.extra_info["timings_ms"] = {
         depth: timings[depth] * 1000 for depth in DEPTHS
     }
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_e6_verifier_scaling)

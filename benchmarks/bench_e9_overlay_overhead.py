@@ -90,3 +90,9 @@ def bench_e9_overlay_overhead(benchmark):
         "carrier_bytes": carrier_size,
         "typecoin_payload_bytes": typecoin_size,
     })
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_e9_overlay_overhead)

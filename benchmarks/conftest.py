@@ -5,8 +5,12 @@ quantitative claims (see DESIGN.md §2, EXPERIMENTS.md).  Everything here is
 seeded and deterministic.
 """
 
+import os
+
 import pytest
 
+from repro import obs
+from repro.obs.report import render_report
 from repro.bitcoin.regtest import RegtestNetwork
 from repro.core.builder import basis_publication, build_with_payload
 from repro.core.currency import issue_proof, newcoin_basis
@@ -16,6 +20,42 @@ from repro.core.validate import Ledger
 from repro.core.wallet import TypecoinClient
 from repro.lf.basis import Basis
 from repro.logic.propositions import One
+
+
+def pytest_configure(config):
+    if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+        obs.enable()
+
+
+@pytest.fixture(autouse=True)
+def obs_per_bench(request):
+    """Give each benchmark a clean metrics slate and attach its snapshot.
+
+    When observability is on (``REPRO_OBS=1``), every ``bench_*`` gets a
+    per-stage breakdown printed next to its headline number and the full
+    snapshot stored in ``benchmark.extra_info["obs"]`` (JSON output).
+    """
+    if not obs.ENABLED:
+        yield
+        return
+    obs.reset()
+    # Resolve the benchmark fixture up front: it is no longer available by
+    # the time this fixture's teardown runs.
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    snap = obs.snapshot()
+    if benchmark is not None:
+        benchmark.extra_info["obs"] = {
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "histograms": snap["histograms"],
+        }
+    print()
+    print(render_report(snap, title=request.node.name))
 
 
 @pytest.fixture

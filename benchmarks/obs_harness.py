@@ -1,0 +1,64 @@
+"""Standalone runner so ``python benchmarks/bench_*.py`` works directly.
+
+The benchmarks are written against the pytest-benchmark fixture API.  This
+module provides a minimal stand-in (``pedantic``, call syntax,
+``extra_info``) and a driver that honours ``REPRO_OBS=1``: with
+observability on, each benchmark prints the :mod:`repro.obs.report`
+per-stage breakdown next to its headline output::
+
+    PYTHONPATH=src REPRO_OBS=1 python benchmarks/bench_e6_verifier_scaling.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import obs
+from repro.obs.report import render_report
+
+
+class StubBenchmark:
+    """Just enough of pytest-benchmark's fixture for standalone runs."""
+
+    def __init__(self) -> None:
+        self.extra_info: dict = {}
+        self.stats: list[float] = []
+
+    def __call__(self, fn, *args, **kwargs):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.stats.append(time.perf_counter() - start)
+        return result
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1,
+                 warmup_rounds=0, setup=None):
+        kwargs = kwargs or {}
+        result = None
+        for _ in range(max(1, rounds)):
+            call_args = args
+            if setup is not None:
+                prepared = setup()
+                if prepared is not None:
+                    call_args, kwargs = prepared
+            for _ in range(max(1, iterations)):
+                start = time.perf_counter()
+                result = fn(*call_args, **kwargs)
+                self.stats.append(time.perf_counter() - start)
+        return result
+
+
+def run_standalone(*benches) -> None:
+    """Run benchmark functions outside pytest, with optional observability."""
+    if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+        obs.enable()
+    for bench in benches:
+        if obs.ENABLED:
+            obs.reset()
+        stub = StubBenchmark()
+        print(f"== {bench.__name__} ==")
+        bench(stub)
+        if obs.ENABLED:
+            print()
+            print(render_report(obs.snapshot(), title=bench.__name__))
+        print()

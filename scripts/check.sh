@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full test suite must pass with observability off (the
+# default) and on (REPRO_OBS=1), proving instrumentation never changes
+# behavior. Run from anywhere; paths resolve relative to the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1: observability disabled =="
+env -u REPRO_OBS python -m pytest -x -q
+
+echo "== tier-1: observability enabled (REPRO_OBS=1) =="
+REPRO_OBS=1 python -m pytest -x -q
+
+echo "ok: suite passes with observability off and on"

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.bitcoin.block import Block, build_block
 from repro.bitcoin.pow import (
     BLOCK_INTERVAL_TARGET,
@@ -269,6 +270,13 @@ class Blockchain:
         disconnected: list[BlockIndexEntry] = []
         while self.height > fork_height:
             disconnected.append(self._disconnect_tip())
+        if disconnected and obs.ENABLED:
+            # A true reorg (not a plain tip extension): the active chain
+            # lost blocks before adopting the heavier branch.
+            obs.inc("chain.reorg_total")
+            obs.observe(
+                "chain.reorg_depth", len(disconnected), obs.COUNT_BUCKETS
+            )
 
         connected: list[BlockIndexEntry] = []
         try:
@@ -287,6 +295,20 @@ class Blockchain:
 
     def _connect(self, entry: BlockIndexEntry) -> None:
         """Attach a block to the active tip, updating UTXOs and indexes."""
+        if obs.ENABLED:
+            with obs.trace_span(
+                "chain.connect_block",
+                metric="chain.connect_seconds",
+                height=entry.height,
+                txs=len(entry.block.txs),
+            ):
+                self._connect_inner(entry)
+            obs.inc("chain.blocks_connected_total")
+            obs.gauge_set("utxo.set_size", len(self.utxos))
+        else:
+            self._connect_inner(entry)
+
+    def _connect_inner(self, entry: BlockIndexEntry) -> None:
         block = entry.block
         height = entry.height
         if height > 0:
@@ -326,6 +348,9 @@ class Blockchain:
             if not tx.is_coinbase:
                 for txin in tx.vin:
                     self._spenders.pop(txin.prevout, None)
+        if obs.ENABLED:
+            obs.inc("chain.blocks_disconnected_total")
+            obs.gauge_set("utxo.set_size", len(self.utxos))
         return entry
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.bitcoin.chain import Blockchain
 from repro.bitcoin.standard import ScriptType, classify, is_standard
 from repro.bitcoin.transaction import OutPoint, Transaction
@@ -72,6 +73,18 @@ class Mempool:
 
         Raises :class:`MempoolError` with a reason when refused.
         """
+        if not obs.ENABLED:
+            return self._accept(tx)
+        try:
+            entry = self._accept(tx)
+        except MempoolError:
+            obs.inc("mempool.rejected_total")
+            raise
+        obs.inc("mempool.accepted_total")
+        obs.gauge_set("mempool.size", len(self._entries))
+        return entry
+
+    def _accept(self, tx: Transaction) -> MempoolEntry:
         txid = tx.txid
         if txid in self._entries:
             raise MempoolError("transaction already in mempool")
@@ -155,4 +168,8 @@ class Mempool:
             except ValidationError:
                 self.remove(txid)
                 evicted.append(entry.tx)
+        if obs.ENABLED:
+            if evicted:
+                obs.inc("mempool.evicted_total", len(evicted))
+            obs.gauge_set("mempool.size", len(self._entries))
         return evicted

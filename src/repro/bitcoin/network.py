@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.bitcoin.block import Block
 from repro.bitcoin.chain import Blockchain, ChainParams
 from repro.bitcoin.mempool import Mempool, MempoolError
@@ -32,6 +33,14 @@ from repro.bitcoin.validation import ValidationError
 from repro.bitcoin.wallet import Wallet
 
 
+# How an event-loop run stopped.  Callers (and the event-loop gauges) use
+# the distinction to tell starvation — the queue ran dry — from an
+# intentional stop at the time limit or a satisfied predicate.
+STOP_DRAINED = "drained"
+STOP_TIME_LIMIT = "time_limit"
+STOP_PREDICATE = "predicate"
+
+
 class Simulation:
     """A seeded discrete-event scheduler with simulated seconds."""
 
@@ -40,6 +49,10 @@ class Simulation:
         self.rng = random.Random(seed)
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
+        self.events_processed = 0
+        # First time each block hash entered the network (simulated
+        # seconds); feeds the block-propagation latency histogram.
+        self.block_births: dict[bytes, float] = {}
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         if delay < 0:
@@ -47,19 +60,38 @@ class Simulation:
         self._seq += 1
         heapq.heappush(self._queue, (self.now + delay, self._seq, action))
 
-    def run_until(self, end_time: float) -> None:
+    def _dispatch(self, time: float, action: Callable[[], None]) -> None:
+        self.now = time
+        self.events_processed += 1
+        action()
+        if obs.ENABLED:
+            obs.inc("net.events_total")
+            obs.gauge_set("net.queue_size", len(self._queue))
+
+    def run_until(self, end_time: float) -> str:
+        """Process events up to ``end_time``; returns how the run stopped
+        (:data:`STOP_DRAINED` or :data:`STOP_TIME_LIMIT`)."""
         while self._queue and self._queue[0][0] <= end_time:
             time, _, action = heapq.heappop(self._queue)
-            self.now = time
-            action()
+            self._dispatch(time, action)
         self.now = max(self.now, end_time)
+        return STOP_DRAINED if not self._queue else STOP_TIME_LIMIT
 
-    def run_while(self, predicate: Callable[[], bool], limit: float) -> None:
-        """Process events while ``predicate()`` holds, up to ``limit`` time."""
+    def run_while(self, predicate: Callable[[], bool], limit: float) -> str:
+        """Process events while ``predicate()`` holds, up to ``limit`` time.
+
+        Returns how the run stopped: :data:`STOP_DRAINED` (queue empty —
+        starvation), :data:`STOP_PREDICATE` (the predicate released the
+        loop), or :data:`STOP_TIME_LIMIT` (next event lies past ``limit``).
+        """
         while self._queue and predicate() and self._queue[0][0] <= limit:
             time, _, action = heapq.heappop(self._queue)
-            self.now = time
-            action()
+            self._dispatch(time, action)
+        if not self._queue:
+            return STOP_DRAINED
+        if not predicate():
+            return STOP_PREDICATE
+        return STOP_TIME_LIMIT
 
 
 @dataclass
@@ -98,11 +130,19 @@ class Node:
         self._seen_blocks.add(block.hash)
         if not self.chain.has_block(block.header.prev_hash):
             self._orphans.setdefault(block.header.prev_hash, []).append(block)
+            if obs.ENABLED:
+                obs.inc("mempool.orphans_total")
             return
         try:
             self.chain.add_block(block)
         except ValidationError:
             return
+        if obs.ENABLED:
+            birth = self.sim.block_births.get(block.hash)
+            if birth is not None:
+                obs.observe(
+                    "net.block_propagation_seconds", self.sim.now - birth
+                )
         self.mempool.remove_confirmed(list(block.txs))
         self.mempool.revalidate()
         self._relay_block(block)
@@ -112,6 +152,8 @@ class Node:
             self.submit_block(child)
 
     def _relay_block(self, block: Block) -> None:
+        if obs.ENABLED and self.peers:
+            obs.inc("net.blocks_relayed_total", len(self.peers))
         for peer in self.peers:
             self.sim.schedule(self._hop_delay(), lambda p=peer: p.submit_block(block))
 
@@ -123,6 +165,8 @@ class Node:
             self.mempool.accept(tx)
         except MempoolError:
             return False
+        if obs.ENABLED and self.peers:
+            obs.inc("net.txs_relayed_total", len(self.peers))
         for peer in self.peers:
             self.sim.schedule(
                 self._hop_delay(), lambda p=peer: p.submit_transaction(tx)
@@ -178,6 +222,10 @@ class PoissonMiner:
                 self.node.mempool, timestamp=timestamp, extra_nonce=self._extra_nonce
             )
             self.blocks_found += 1
+            if obs.ENABLED:
+                self.node.sim.block_births.setdefault(
+                    block.hash, self.node.sim.now
+                )
             self.node.submit_block(block)
         self._schedule_next()
 

@@ -7,6 +7,7 @@ and example runs on top of this.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.bitcoin.block import Block
 from repro.bitcoin.chain import Blockchain, ChainParams
 from repro.bitcoin.mempool import Mempool, MempoolError
@@ -17,9 +18,20 @@ from repro.bitcoin.wallet import Wallet
 
 
 class RegtestNetwork:
-    """One node, one chain, instant mining."""
+    """One node, one chain, instant mining.
 
-    def __init__(self, min_fee_rate: int = 1, block_time_step: int = 1):
+    ``observe=True`` switches on :mod:`repro.obs` process-wide so every
+    validation step this network performs is counted and timed.
+    """
+
+    def __init__(
+        self,
+        min_fee_rate: int = 1,
+        block_time_step: int = 1,
+        observe: bool = False,
+    ):
+        if observe:
+            obs.enable()
         self.chain = Blockchain(ChainParams.regtest())
         self.mempool = Mempool(self.chain, min_fee_rate=min_fee_rate)
         self.block_time_step = block_time_step

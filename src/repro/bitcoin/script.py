@@ -17,16 +17,26 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.crypto.hashing import hash160, ripemd160, sha256, sha256d
 
 MAX_SCRIPT_SIZE = 10_000
 MAX_STACK_SIZE = 1_000
 MAX_OPS_PER_SCRIPT = 201
 MAX_PUSH_SIZE = 520
+# Total stack pushes one execution may perform across both scripts.  No
+# legal script approaches this (the stack cap is 1000 and the op budget
+# bounds pops), but an explicit budget turns any interpreter bug that
+# would loop or balloon into a typed, attributable failure.
+MAX_SCRIPT_PUSHES = 2_000
 
 
 class ScriptError(Exception):
     """Raised when script parsing or execution fails."""
+
+
+class ScriptResourceError(ScriptError):
+    """An execution budget (ops, pushes, stack size) was exhausted."""
 
 
 class Op(enum.IntEnum):
@@ -249,14 +259,54 @@ def _no_signatures(_sig: bytes, _pubkey: bytes) -> bool:
 
 
 @dataclass
+class ExecutionBudget:
+    """Resource accounting for one script execution.
+
+    Tracks totals (``ops``, ``pushes``) across both scripts for metrics,
+    while enforcing the per-script op limit Bitcoin imposes and an overall
+    push budget; exhaustion raises :class:`ScriptResourceError` rather
+    than letting a runaway script spin.
+    """
+
+    max_ops: int = MAX_OPS_PER_SCRIPT
+    max_pushes: int = MAX_SCRIPT_PUSHES
+    ops: int = 0
+    pushes: int = 0
+    script_ops: int = 0  # ops within the currently running script
+
+    def begin_script(self) -> None:
+        self.script_ops = 0
+
+    def count_op(self) -> None:
+        self.ops += 1
+        self.script_ops += 1
+        if self.script_ops > self.max_ops:
+            raise ScriptResourceError("op count limit exceeded")
+
+    def count_push(self) -> None:
+        self.pushes += 1
+        if self.pushes > self.max_pushes:
+            raise ScriptResourceError("push budget exceeded")
+
+
+@dataclass
 class _Machine:
     stack: list[bytes] = field(default_factory=list)
     alt: list[bytes] = field(default_factory=list)
+    budget: ExecutionBudget = field(default_factory=ExecutionBudget)
+    # High-water mark of combined stack depth; maintained only when the
+    # interpreter is observed (set by execute_script).
+    track_depth: bool = False
+    depth_hwm: int = 0
 
     def push(self, item: bytes) -> None:
+        self.budget.count_push()
         self.stack.append(item)
-        if len(self.stack) + len(self.alt) > MAX_STACK_SIZE:
-            raise ScriptError("stack size limit exceeded")
+        depth = len(self.stack) + len(self.alt)
+        if depth > MAX_STACK_SIZE:
+            raise ScriptResourceError("stack size limit exceeded")
+        if self.track_depth and depth > self.depth_hwm:
+            self.depth_hwm = depth
 
     def pop(self) -> bytes:
         if not self.stack:
@@ -285,8 +335,14 @@ _DISABLED_IN_SCRIPTSIG = frozenset({
 })
 
 
-def _run(script: Script, machine: _Machine, checker: SigChecker) -> None:
-    op_count = 0
+def _run(
+    script: Script,
+    machine: _Machine,
+    checker: SigChecker,
+    op_counts: dict[Op, int] | None = None,
+) -> None:
+    budget = machine.budget
+    budget.begin_script()
     # exec_flags[i] says whether the i-th nested IF branch is live.
     exec_flags: list[bool] = []
 
@@ -300,9 +356,9 @@ def _run(script: Script, machine: _Machine, checker: SigChecker) -> None:
 
         op = element
         if op > Op.OP_16:
-            op_count += 1
-            if op_count > MAX_OPS_PER_SCRIPT:
-                raise ScriptError("op count limit exceeded")
+            budget.count_op()
+            if op_counts is not None:
+                op_counts[op] = op_counts.get(op, 0) + 1
 
         # Flow control runs even in dead branches.
         if op == Op.OP_IF or op == Op.OP_NOTIF:
@@ -528,9 +584,25 @@ def execute_script(
         ):
             raise ScriptError("scriptSig must be push-only")
     machine = _Machine()
+    enabled = obs.ENABLED
+    op_counts: dict[Op, int] | None = None
+    if enabled:
+        machine.track_depth = True
+        op_counts = {}
+    ok = True
     try:
-        _run(script_sig, machine, checker)
-        _run(script_pubkey, machine, checker)
+        _run(script_sig, machine, checker, op_counts)
+        _run(script_pubkey, machine, checker, op_counts)
     except ScriptError:
-        return False
-    return bool(machine.stack) and cast_to_bool(machine.stack[-1])
+        ok = False
+    result = ok and bool(machine.stack) and cast_to_bool(machine.stack[-1])
+    if enabled:
+        obs.inc("script.executions_total")
+        obs.inc("script.ops_total", machine.budget.ops)
+        obs.inc("script.pushes_total", machine.budget.pushes)
+        obs.gauge_max("script.stack_depth_hwm", machine.depth_hwm)
+        if not result:
+            obs.inc("script.failures_total")
+        for op, count in op_counts.items():
+            obs.inc(f"script.op.{op.name}", count)
+    return result

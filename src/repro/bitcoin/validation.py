@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.bitcoin.script import execute_script
 from repro.bitcoin.sighash import signature_hash
 from repro.bitcoin.transaction import MAX_MONEY, Transaction
@@ -124,8 +125,16 @@ def check_tx_inputs(
     """
     if tx.is_coinbase:
         raise ValidationError("coinbase cannot be validated as a spend")
+    enabled = obs.ENABLED
+    start = obs.clock() if enabled else 0.0
     check_transaction(tx)
+    if enabled:
+        structure_done = obs.clock()
+        obs.observe(
+            "validation.rule_seconds", structure_done - start, rule="structure"
+        )
 
+    script_time = 0.0
     value_in = 0
     for index, txin in enumerate(tx.vin):
         entry = utxos.get(txin.prevout)
@@ -137,10 +146,23 @@ def check_tx_inputs(
         if verify_scripts:
             script_code = entry.output.script_pubkey
             checker = make_sig_checker(tx, index, script_code)
-            if not execute_script(txin.script_sig, script_code, checker):
+            if enabled:
+                script_start = obs.clock()
+            authorized = execute_script(txin.script_sig, script_code, checker)
+            if enabled:
+                script_time += obs.clock() - script_start
+            if not authorized:
                 raise ValidationError(f"script validation failed on input {index}")
 
     value_out = tx.total_output_value()
     if value_out > value_in:
         raise ValidationError("outputs exceed inputs")
+    if enabled:
+        obs.inc("validation.tx_total")
+        obs.observe("validation.rule_seconds", script_time, rule="scripts")
+        obs.observe(
+            "validation.rule_seconds",
+            obs.clock() - structure_done - script_time,
+            rule="inputs",
+        )
     return TxValidity(fee=value_in - value_out)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.bitcoin.chain import Blockchain
 from repro.bitcoin.transaction import OutPoint
 from repro.core.overlay import OverlayError, check_carrier_correspondence
@@ -97,6 +98,30 @@ def verify_claim(
     verification with already-trusted history (e.g. a batch server's own
     records) — the bundle only needs transactions *beyond* it.
     """
+    if not obs.ENABLED:
+        return _verify_claim(
+            chain, bundle, min_confirmations, require_unspent, base_ledger
+        )
+    with obs.trace_span(
+        "verify.claim",
+        metric="verify.claim_seconds",
+        carriers=len(bundle.transactions),
+    ):
+        ledger = _verify_claim(
+            chain, bundle, min_confirmations, require_unspent, base_ledger
+        )
+    obs.inc("verify.claims_total")
+    obs.inc("verify.carriers_total", len(bundle.transactions))
+    return ledger
+
+
+def _verify_claim(
+    chain: Blockchain,
+    bundle: ClaimBundle,
+    min_confirmations: int,
+    require_unspent: bool,
+    base_ledger: Ledger | None,
+) -> Ledger:
     if base_ledger is not None:
         ledger = Ledger(
             global_basis=base_ledger.global_basis,

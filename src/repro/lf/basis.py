@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Union
 
+from repro import obs
 from repro.lf.normalize import register_arith
 from repro.lf.syntax import (
     BUILTIN,
@@ -83,6 +84,8 @@ class Basis:
         return ref
 
     def lookup(self, ref: ConstRef) -> Declaration:
+        if obs.ENABLED:
+            obs.inc("lf.basis_lookups_total")
         try:
             return self._decls[ref]
         except KeyError:

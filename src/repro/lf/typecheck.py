@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.lf.basis import Basis, BasisError, KindDecl, NAT_T, PRINCIPAL_T, TypeDecl
 from repro.lf.normalize import families_equal, normalize_family
 from repro.lf.syntax import (
@@ -112,6 +113,8 @@ def check_family_is_type(basis: Basis, ctx: LFContext, family: TypeFamily) -> No
 
 def infer_type(basis: Basis, ctx: LFContext, term: Term) -> TypeFamily:
     """Judgement Σ;Ψ ⊢ m : τ (type synthesis)."""
+    if obs.ENABLED:
+        obs.inc("lf.typecheck_total")
     if isinstance(term, Var):
         return ctx.lookup(term.name)
     if isinstance(term, Const):

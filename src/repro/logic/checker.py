@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.crypto.ecdsa import Signature, verify as ecdsa_verify
 from repro.crypto.hashing import hash160, sha256
 from repro.crypto.secp256k1 import Point
@@ -265,6 +266,8 @@ def _disjoint(*sets: Used) -> Used:
 
 def infer(ctx: CheckerContext, term: ProofTerm) -> tuple[Proposition, Used]:
     """The judgement T;Σ;Ψ;Γ;Δ ⊢ M : A, synthesizing A and the consumed set."""
+    if obs.ENABLED:
+        obs.inc("proof.nodes_total")
     if isinstance(term, PVar):
         if term.name in ctx.affine:
             return ctx.affine[term.name], frozenset((term.name,))

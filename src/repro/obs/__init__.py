@@ -1,0 +1,253 @@
+"""``repro.obs`` — metrics, structured tracing, and profiling hooks.
+
+The observability substrate for the whole validation pipeline: a
+dependency-free metrics registry (:mod:`repro.obs.metrics`), a span tracer
+(:mod:`repro.obs.trace`), and a pretty-printed report
+(:mod:`repro.obs.report`).  Instrumented call sites across
+``repro.bitcoin``, ``repro.lf``, ``repro.logic``, and ``repro.core``
+record into a process-wide default registry/tracer through the helpers
+here.
+
+Zero cost when disabled
+-----------------------
+
+Observability is **off by default**.  Every instrumented call site guards
+on the module-level :data:`ENABLED` flag::
+
+    if obs.ENABLED:
+        obs.inc("mempool.accepted_total")
+
+so a disabled run performs one attribute load and a falsy branch — no dict
+or list allocation, no registry traffic (tests enforce this with a
+poisoned registry stub).  Turn it on with :func:`enable`, with
+``RegtestNetwork(observe=True)``, or by setting ``REPRO_OBS=1`` in the
+environment before the first import.
+
+Exports
+-------
+
+Three views of the collected data:
+
+* :func:`snapshot` — JSON-able dict of every series (plus spans);
+* :func:`render_text` — Prometheus-style text exposition;
+* :func:`repro.obs.report.render_report` — human-readable per-stage
+  breakdown the benchmarks print next to their headline numbers.
+
+See ``docs/observability.md`` for the metric and span name catalogue.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    series_name,
+)
+from repro.obs.trace import Span, Tracer, _ActiveSpan
+
+__all__ = [
+    "ENABLED", "enable", "disable", "reset",
+    "registry", "set_registry", "tracer", "set_tracer",
+    "clock", "set_clock", "reset_clock",
+    "inc", "observe", "gauge_set", "gauge_max", "trace_span",
+    "snapshot", "render_text", "spans",
+    "Registry", "Tracer", "Span", "Counter", "Gauge", "Histogram",
+    "COUNT_BUCKETS", "DEFAULT_BUCKETS", "CATALOGUE", "series_name",
+]
+
+# The metric catalogue: every series the instrumented pipeline can emit,
+# pre-registered on enable() so reports and dashboards always see the full
+# schema (a counter that never fired reads 0, not "missing").  Kinds:
+# "c" counter, "g" gauge, "h" timing histogram, "hc" count histogram.
+CATALOGUE: tuple[tuple[str, str], ...] = (
+    ("script.executions_total", "c"),
+    ("script.failures_total", "c"),
+    ("script.ops_total", "c"),
+    ("script.pushes_total", "c"),
+    ("script.stack_depth_hwm", "g"),
+    ("validation.tx_total", "c"),
+    ("validation.rule_seconds", "h"),
+    ("chain.blocks_connected_total", "c"),
+    ("chain.blocks_disconnected_total", "c"),
+    ("chain.connect_seconds", "h"),
+    ("chain.reorg_total", "c"),
+    ("chain.reorg_depth", "hc"),
+    ("utxo.set_size", "g"),
+    ("mempool.accepted_total", "c"),
+    ("mempool.rejected_total", "c"),
+    ("mempool.evicted_total", "c"),
+    ("mempool.orphans_total", "c"),
+    ("mempool.size", "g"),
+    ("net.events_total", "c"),
+    ("net.queue_size", "g"),
+    ("net.blocks_relayed_total", "c"),
+    ("net.txs_relayed_total", "c"),
+    ("net.block_propagation_seconds", "h"),
+    ("lf.typecheck_total", "c"),
+    ("lf.basis_lookups_total", "c"),
+    ("proof.nodes_total", "c"),
+    ("proof.check_seconds", "h"),
+    ("ledger.apply_seconds", "h"),
+    ("ledger.check_seconds", "h"),
+    ("verify.claims_total", "c"),
+    ("verify.carriers_total", "c"),
+    ("verify.claim_seconds", "h"),
+)
+
+
+def _declare_catalogue(reg: Registry) -> None:
+    for name, kind in CATALOGUE:
+        if kind == "c":
+            reg.counter(name)
+        elif kind == "g":
+            reg.gauge(name)
+        elif kind == "hc":
+            reg.histogram(name, COUNT_BUCKETS)
+        else:
+            reg.histogram(name)
+
+
+_registry = Registry()
+_tracer = Tracer()
+_clock: Callable[[], float] = time.perf_counter
+
+ENABLED: bool = os.environ.get("REPRO_OBS", "") not in ("", "0")
+if ENABLED:
+    _declare_catalogue(_registry)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+
+
+def enable() -> None:
+    """Turn observability on and pre-register the metric catalogue."""
+    global ENABLED
+    ENABLED = True
+    _declare_catalogue(_registry)
+
+
+def disable() -> None:
+    global ENABLED
+    ENABLED = False
+
+
+def reset() -> None:
+    """Clear every series and span (catalogue re-registered if enabled)."""
+    _registry.clear()
+    _tracer.clear()
+    if ENABLED:
+        _declare_catalogue(_registry)
+
+
+def registry() -> Registry:
+    return _registry
+
+
+def set_registry(reg: Registry) -> Registry:
+    """Swap the default registry (tests install poisoned stubs); returns
+    the previous one."""
+    global _registry
+    previous, _registry = _registry, reg
+    return previous
+
+
+def tracer() -> Tracer:
+    return _tracer
+
+
+def set_tracer(trc: Tracer) -> Tracer:
+    global _tracer
+    previous, _tracer = _tracer, trc
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Clock (swappable so tests get deterministic timings)
+# ----------------------------------------------------------------------
+
+
+def clock() -> float:
+    return _clock()
+
+
+def set_clock(fn: Callable[[], float]) -> Callable[[], float]:
+    global _clock
+    previous, _clock = _clock, fn
+    return previous
+
+
+def reset_clock() -> None:
+    global _clock
+    _clock = time.perf_counter
+
+
+# ----------------------------------------------------------------------
+# Recording helpers — call only behind an ``if obs.ENABLED:`` guard.
+# ----------------------------------------------------------------------
+
+
+def inc(name: str, amount: int = 1, **labels: object) -> None:
+    _registry.inc(name, amount, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    **labels: object,
+) -> None:
+    _registry.observe(name, value, buckets, **labels)
+
+
+def gauge_set(name: str, value: float) -> None:
+    _registry.gauge_set(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    _registry.gauge_max(name, value)
+
+
+def trace_span(name: str, metric: str | None = None, **attrs: object):
+    """Open a traced region::
+
+        if obs.ENABLED:
+            with obs.trace_span("chain.connect_block", height=h):
+                ...
+
+    ``metric=`` additionally feeds the duration into that histogram.
+    Callers keep the ``ENABLED`` guard at the call site (the kwargs dict
+    alone would be an allocation on the disabled path).
+    """
+    return _ActiveSpan(_tracer, _registry, _clock, name, metric, attrs)
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+
+
+def snapshot() -> dict:
+    """A deterministic JSON-able view: all series plus finished spans."""
+    snap = _registry.snapshot()
+    snap["spans"] = _tracer.snapshot()
+    snap["spans_dropped"] = _tracer.dropped
+    return snap
+
+
+def render_text() -> str:
+    """Prometheus-style text exposition of the default registry."""
+    return _registry.render_text()
+
+
+def spans() -> list[Span]:
+    return list(_tracer.spans)

@@ -1,0 +1,225 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the storage half of :mod:`repro.obs`.  It knows nothing
+about being enabled or disabled — call sites guard on ``obs.ENABLED`` and
+only reach the registry when observability is on, so a disabled run never
+allocates a series.  Snapshots are plain JSON-able dicts with sorted keys,
+so two identical runs (under a fake clock) produce identical snapshots.
+
+Series names are dotted (``script.ops_total``); an optional label set
+produces an additional ``name{key="value"}`` series next to the unlabeled
+aggregate, mirroring how Prometheus clients model label dimensions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+# Default buckets suit sub-millisecond-to-seconds timings, the range the
+# validation pipeline actually spans on regtest workloads.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+# Buckets for small-integer distributions (reorg depth, bundle size).
+COUNT_BUCKETS: tuple[float, ...] = (1, 2, 3, 5, 8, 13, 21, 34, 55, 89)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can move in either direction (set or high-water max)."""
+
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram with sum and count.
+
+    ``counts[i]`` holds observations with ``value <= buckets[i]`` (and
+    greater than the previous edge); ``counts[-1]`` is the overflow bucket.
+    Cumulative ``le`` counts are produced at render time.
+    """
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[tuple[float | str, int]]:
+        """(upper-edge, cumulative-count) pairs, ending with ``+Inf``."""
+        out: list[tuple[float | str, int]] = []
+        running = 0
+        for edge, bucket_count in zip(self.buckets, self.counts):
+            running += bucket_count
+            out.append((edge, running))
+        out.append(("+Inf", running + self.counts[-1]))
+        return out
+
+
+def series_name(name: str, labels: dict[str, object]) -> str:
+    """``name{key="value",...}`` with keys sorted for determinism."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _sanitize(name: str) -> str:
+    """Prometheus metric names: dots and other punctuation to underscores."""
+    base, brace, labels = name.partition("{")
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in base)
+    return cleaned + brace + labels
+
+
+class Registry:
+    """A named collection of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- series accessors (create on first use) -------------------------
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter()
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge()
+        return found
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(buckets=buckets)
+        return found
+
+    # -- recording helpers (one call per instrumentation site) ----------
+
+    def inc(self, name: str, amount: int = 1, **labels: object) -> None:
+        self.counter(name).inc(amount)
+        if labels:
+            self.counter(series_name(name, labels)).inc(amount)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        self.gauge(name).set_max(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+        if labels:
+            self.histogram(series_name(name, labels), buckets).observe(value)
+
+    # -- export ---------------------------------------------------------
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """A deterministic JSON-able view of every series."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "mean": hist.mean,
+                    "buckets": [
+                        [edge, cum] for edge, cum in hist.cumulative()
+                    ],
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition of every series."""
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            clean = _sanitize(name)
+            if "{" not in clean:
+                lines.append(f"# TYPE {clean} counter")
+            lines.append(f"{clean} {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            clean = _sanitize(name)
+            if "{" not in clean:
+                lines.append(f"# TYPE {clean} gauge")
+            lines.append(f"{clean} {self._gauges[name].value}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            clean = _sanitize(name)
+            base, brace, labels = clean.partition("{")
+            label_prefix = "," if brace else "{"
+            label_body = labels[:-1] if brace else ""
+            if not brace:
+                lines.append(f"# TYPE {base} histogram")
+            for edge, cum in hist.cumulative():
+                le = f'le="{edge}"'
+                if brace:
+                    lines.append(f"{base}{{{label_body},{le}}} {cum}")
+                else:
+                    lines.append(f"{base}_bucket{{{le}}} {cum}")
+            suffix = f"{{{label_body}}}" if brace else ""
+            lines.append(f"{base}_sum{suffix} {hist.total}")
+            lines.append(f"{base}_count{suffix} {hist.count}")
+        return "\n".join(lines) + "\n"

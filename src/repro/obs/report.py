@@ -1,0 +1,75 @@
+"""Human-readable per-stage breakdown of an observability snapshot.
+
+The benchmarks call :func:`render_report` after their headline numbers so
+every ``bench_*`` run shows where validation, proof-checking, and network
+time actually went.  Works from a snapshot dict (so it can render saved
+JSON as well as the live registry).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f}s "
+    if value >= 0.001:
+        return f"{value * 1000:8.3f}ms"
+    return f"{value * 1e6:8.1f}µs"
+
+
+def render_report(snapshot: dict | None = None, title: str = "observability") -> str:
+    """Format counters, gauges, and timing histograms as an aligned table."""
+    snap = snapshot if snapshot is not None else obs.snapshot()
+    lines = [f"--- {title}: per-stage breakdown ---"]
+
+    histograms = snap.get("histograms", {})
+    if histograms:
+        lines.append(f"{'timing series':<44}{'count':>8}{'total':>11}{'mean':>11}")
+        for name, hist in histograms.items():
+            if "seconds" in name:
+                total = _fmt_seconds(hist["sum"])
+                mean = _fmt_seconds(hist["mean"])
+            else:
+                total = f"{hist['sum']:g}"
+                mean = f"{hist['mean']:.2f}"
+            lines.append(f"{name:<44}{hist['count']:>8}{total:>11}{mean:>11}")
+
+    counters = snap.get("counters", {})
+    if counters:
+        lines.append(f"{'counter':<44}{'value':>8}")
+        for name, value in counters.items():
+            lines.append(f"{name:<44}{value:>8}")
+
+    gauges = snap.get("gauges", {})
+    if gauges:
+        lines.append(f"{'gauge':<44}{'value':>8}")
+        for name, value in gauges.items():
+            shown = int(value) if float(value).is_integer() else round(value, 3)
+            lines.append(f"{name:<44}{shown:>8}")
+
+    span_list = snap.get("spans", [])
+    if span_list:
+        lines.append(f"spans recorded: {len(span_list)}"
+                     + (f" (dropped {snap['spans_dropped']})"
+                        if snap.get("spans_dropped") else ""))
+    return "\n".join(lines)
+
+
+def render_trace(snapshot: dict | None = None, limit: int = 40) -> str:
+    """An indented listing of the ``limit`` most recent spans."""
+    snap = snapshot if snapshot is not None else obs.snapshot()
+    recorded = snap.get("spans", [])
+    lines = ["--- trace ---"]
+    if len(recorded) > limit:
+        lines.append(f"... {len(recorded) - limit} earlier spans elided ...")
+    for span in recorded[-limit:]:
+        attrs = "".join(
+            f" {key}={value}" for key, value in sorted(span["attrs"].items())
+        )
+        indent = "  " * span["depth"]
+        lines.append(
+            f"{indent}{span['name']} {_fmt_seconds(span['duration']).strip()}{attrs}"
+        )
+    return "\n".join(lines)

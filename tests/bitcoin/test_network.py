@@ -6,6 +6,9 @@ import pytest
 
 from repro.bitcoin.chain import ChainParams
 from repro.bitcoin.network import (
+    STOP_DRAINED,
+    STOP_PREDICATE,
+    STOP_TIME_LIMIT,
     Node,
     PoissonMiner,
     Simulation,
@@ -137,3 +140,49 @@ class TestRace:
             for s in range(5)
         )
         assert losses == 5
+
+
+class TestStopReasons:
+    """run_until / run_while report how they stopped (satellite 2)."""
+
+    def test_run_until_drained(self):
+        sim = Simulation()
+        sim.schedule(1, lambda: None)
+        assert sim.run_until(10) == STOP_DRAINED
+        assert sim.now == 10
+
+    def test_run_until_time_limit(self):
+        sim = Simulation()
+        sim.schedule(1, lambda: None)
+        sim.schedule(50, lambda: None)
+        assert sim.run_until(10) == STOP_TIME_LIMIT
+
+    def test_run_until_empty_queue_is_drained(self):
+        assert Simulation().run_until(5) == STOP_DRAINED
+
+    def test_run_while_predicate_releases(self):
+        sim = Simulation()
+        fired = []
+        for t in range(1, 6):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        reason = sim.run_while(lambda: len(fired) < 2, limit=100)
+        assert reason == STOP_PREDICATE
+        assert fired == [1, 2]
+
+    def test_run_while_drained(self):
+        sim = Simulation()
+        sim.schedule(1, lambda: None)
+        assert sim.run_while(lambda: True, limit=100) == STOP_DRAINED
+
+    def test_run_while_time_limit(self):
+        sim = Simulation()
+        sim.schedule(1, lambda: None)
+        sim.schedule(500, lambda: None)
+        assert sim.run_while(lambda: True, limit=100) == STOP_TIME_LIMIT
+
+    def test_events_processed_counts(self):
+        sim = Simulation()
+        for t in range(3):
+            sim.schedule(t, lambda: None)
+        sim.run_until(10)
+        assert sim.events_processed == 3

@@ -249,3 +249,67 @@ class TestExecution:
         script = Script([Op.OP_DUP, b"\xab"])
         assert "OP_DUP" in repr(script)
         assert len(script) == 3
+
+
+from repro.bitcoin.script import (
+    MAX_OPS_PER_SCRIPT,
+    MAX_STACK_SIZE,
+    ExecutionBudget,
+    ScriptResourceError,
+    _Machine,
+    _no_signatures,
+    _run,
+)
+
+
+class TestExecutionBudget:
+    """Resource limits raise the typed ScriptResourceError (satellite 3)."""
+
+    def test_per_script_op_limit(self):
+        ok_script = Script([Op.OP_NOP] * MAX_OPS_PER_SCRIPT)
+        _run(ok_script, _Machine(), _no_signatures)  # exactly at the limit
+
+        over = Script([Op.OP_NOP] * (MAX_OPS_PER_SCRIPT + 1))
+        with pytest.raises(ScriptResourceError, match="op count limit"):
+            _run(over, _Machine(), _no_signatures)
+
+    def test_op_limit_is_per_script_not_cumulative(self):
+        # 150 ops per script is fine twice over: the 201-op ceiling resets
+        # between the two scripts even though the machine is shared.
+        machine = _Machine()
+        _run(Script([Op.OP_NOP] * 150), machine, _no_signatures)
+        _run(Script([Op.OP_NOP] * 150), machine, _no_signatures)
+        assert machine.budget.ops == 300
+
+    def test_stack_size_limit(self):
+        machine = _Machine(
+            budget=ExecutionBudget(max_ops=10_000, max_pushes=10_000)
+        )
+        script = Script([Op.OP_1] + [Op.OP_DUP] * MAX_STACK_SIZE)
+        with pytest.raises(ScriptResourceError, match="stack size limit"):
+            _run(script, machine, _no_signatures)
+        assert len(machine.stack) + len(machine.alt) == MAX_STACK_SIZE + 1
+
+    def test_push_budget(self):
+        machine = _Machine(budget=ExecutionBudget(max_pushes=5))
+        with pytest.raises(ScriptResourceError, match="push budget"):
+            _run(Script([Op.OP_1] * 6), machine, _no_signatures)
+        assert machine.budget.pushes == 6
+
+    def test_execute_script_fails_closed_on_exhaustion(self):
+        # The public entry point treats resource exhaustion like any other
+        # script failure: the spend is invalid, no exception escapes.
+        sig = Script([Op.OP_1])
+        pubkey = Script([Op.OP_NOP] * 300)
+        assert execute_script(sig, pubkey) is False
+
+    def test_resource_error_is_script_error(self):
+        assert issubclass(ScriptResourceError, ScriptError)
+
+    def test_budget_totals_accumulate_across_scripts(self):
+        machine = _Machine()
+        _run(Script([Op.OP_1, Op.OP_NOP]), machine, _no_signatures)
+        _run(Script([Op.OP_2, Op.OP_NOP, Op.OP_NOP]), machine, _no_signatures)
+        assert machine.budget.ops == 3
+        assert machine.budget.pushes == 2
+        assert machine.budget.script_ops == 2

@@ -1,0 +1,83 @@
+"""Tracer tests: nested span timing, parenting, attributes, bounds."""
+
+import pytest
+
+from repro import obs
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def enabled():
+    obs.enable()
+
+
+class TestNesting:
+    def test_nested_span_timing_and_parenting(self, manual_clock):
+        with obs.trace_span("outer", height=5):
+            manual_clock.advance(1.0)
+            with obs.trace_span("inner"):
+                manual_clock.advance(0.25)
+            manual_clock.advance(0.5)
+
+        inner, outer = obs.spans()  # children finish (and record) first
+        assert inner.name == "inner"
+        assert outer.name == "outer"
+        assert inner.duration == 0.25
+        assert outer.duration == 1.75
+        assert inner.parent == outer.span_id
+        assert outer.parent is None
+        assert inner.depth == 1
+        assert outer.depth == 0
+        assert outer.attrs == {"height": 5}
+
+    def test_siblings_share_parent(self, manual_clock):
+        with obs.trace_span("root"):
+            with obs.trace_span("a"):
+                manual_clock.advance(0.1)
+            with obs.trace_span("b"):
+                manual_clock.advance(0.2)
+        a, b, root = obs.spans()
+        assert a.parent == root.span_id
+        assert b.parent == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_metric_feeds_histogram(self, manual_clock):
+        with obs.trace_span("proof.check", metric="proof.check_seconds"):
+            manual_clock.advance(0.125)
+        hist = obs.registry().histogram("proof.check_seconds")
+        assert hist.count == 1
+        assert hist.total == 0.125
+
+    def test_exception_marks_span(self, manual_clock):
+        with pytest.raises(ValueError):
+            with obs.trace_span("failing"):
+                raise ValueError("boom")
+        (span,) = obs.spans()
+        assert span.attrs["error"] == "ValueError"
+
+    def test_set_attr_mid_span(self, manual_clock):
+        with obs.trace_span("s") as span:
+            span.set_attr("found", 3)
+        assert obs.spans()[0].attrs == {"found": 3}
+
+
+class TestBounds:
+    def test_ring_is_bounded(self, manual_clock):
+        tracer = obs.tracer()
+        tracer.max_spans = 3
+        for _ in range(5):
+            with obs.trace_span("s"):
+                manual_clock.advance(0.01)
+        assert len(tracer.spans) == 3
+        assert tracer.dropped == 2
+        assert obs.snapshot()["spans_dropped"] == 2
+
+    def test_clear_resets_ids(self, manual_clock):
+        with obs.trace_span("s"):
+            pass
+        obs.tracer().clear()
+        with obs.trace_span("t"):
+            pass
+        (span,) = obs.spans()
+        assert span.span_id == 0
