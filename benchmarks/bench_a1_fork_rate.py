@@ -61,3 +61,9 @@ def bench_a1_fork_rate_vs_latency(benchmark):
     assert rows[0]["orphan_rate"] < 0.05
     assert rows[2]["orphan_rate"] > 0.05
     benchmark.extra_info["rows"] = rows
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_a1_fork_rate_vs_latency)

@@ -82,3 +82,9 @@ def bench_e2_difficulty_adjustment(benchmark):
     # Shape 4: six confirmations take on the order of an hour.
     assert 1800 < stats["confirmation_latency"] < 7200
     benchmark.extra_info.update(stats)
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_e2_difficulty_adjustment)

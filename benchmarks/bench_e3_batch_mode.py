@@ -102,3 +102,9 @@ def bench_e3_direct_vs_batched(benchmark, net, bank, ledger):
         "direct_latency_s": direct_latency,
         "batched_latency_s": batched_latency,
     })
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_e3_direct_vs_batched)

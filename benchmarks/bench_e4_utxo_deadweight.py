@@ -91,3 +91,9 @@ def bench_e4_utxo_deadweight(benchmark):
     # Shape 3: OP_RETURN (the modern channel) also leaves none.
     assert by_name["op-return"]["deadweight_entries"] == 0
     benchmark.extra_info["rows"] = rows
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_e4_utxo_deadweight)

@@ -84,3 +84,9 @@ def bench_e5_revocation_latency(benchmark):
     assert 900 < stats["one_conf_mean"] < 1600
     assert stats["inclusion_mean"] < 900 < stats["one_conf_mean"]
     benchmark.extra_info.update(stats)
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_e5_revocation_latency)

@@ -115,3 +115,12 @@ def bench_e7_split_merge_chain_scaling(benchmark):
     # Roughly linear scaling in proof size.
     assert timings[64] / timings[4] < 64
     assert timings[64] > timings[1]
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(
+        bench_e7_transaction_check_throughput,
+        bench_e7_split_merge_chain_scaling,
+    )

@@ -18,7 +18,8 @@ from repro.crypto.keys import PrivateKey
 import sys
 import pathlib
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "tests"))
+# The repo root, so the ``tests`` package resolves outside pytest too.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
 
 from tests.core.test_escrow import TestPuzzleContest as _PuzzleContest  # noqa: E402
 
@@ -67,3 +68,9 @@ def bench_e8_escrow_fault_tolerance(benchmark):
     assert rows[1]["prize_claimed"] and rows[1]["refusals"] == 1
     assert not rows[2]["prize_claimed"]
     benchmark.extra_info["rows"] = rows
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_e8_escrow_fault_tolerance)

@@ -99,3 +99,9 @@ def bench_f1_figure1_roundtrip(benchmark):
     print(f"\nF1: {count} Figure 1 syntax samples round-trip"
           f" (~{per_second:,.0f} parse+print+compare per second)")
     assert count == len(KINDS) + len(FAMILIES) + len(TERMS) + len(CONDS) + len(PROPS)
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(bench_f1_figure1_roundtrip)

@@ -114,3 +114,12 @@ def bench_f2_entailment_prover(benchmark):
     rate = proved / benchmark.stats["mean"]
     print(f"\nF2b: entailment prover decided {proved} sequents per pass"
           f" (~{rate:,.0f}/s)")
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(
+        bench_f2_conditional_rules,
+        bench_f2_entailment_prover,
+    )

@@ -109,3 +109,12 @@ def bench_f3_revocation_flips_validity(benchmark):
     assert flipped
     print("\nF3b: after spending R, the identical Figure 3 transaction is"
           " rejected — revocation works with no signature from the buyer")
+
+
+if __name__ == "__main__":
+    from obs_harness import run_standalone
+
+    run_standalone(
+        bench_f3_figure3_validation,
+        bench_f3_revocation_flips_validity,
+    )

@@ -1,0 +1,176 @@
+"""Diff two benchmark trajectory files and gate on regressions.
+
+The regression gate for ``BENCH_<label>.json`` files written by
+``benchmarks/runner.py``: compares per-experiment wall time (and
+per-bench mean timings, for detail) between a baseline and a candidate
+trajectory, prints a table, and exits non-zero when any experiment
+regressed beyond the threshold (default: >25% wall-time regression).
+
+Usage::
+
+    python benchmarks/compare.py BENCH_base.json BENCH_new.json
+    python benchmarks/compare.py BENCH_base.json BENCH_new.json --threshold 0.10
+    python benchmarks/compare.py --check-schema BENCH_new.json
+
+Experiments present in the baseline but missing from the candidate are
+failures too (a deleted benchmark must be an explicit decision, not a
+silent hole in the trajectory), unless ``--allow-missing`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+BENCH_SCHEMA = "repro.bench/1"
+
+
+class SchemaError(ValueError):
+    """A trajectory file does not match the documented schema."""
+
+
+def load_trajectory(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    check_schema(data, path)
+    return data
+
+
+def check_schema(data: dict, path: str = "<data>") -> None:
+    """Raise :class:`SchemaError` unless ``data`` is a valid trajectory."""
+    if not isinstance(data, dict):
+        raise SchemaError(f"{path}: trajectory must be an object")
+    if data.get("schema") != BENCH_SCHEMA:
+        raise SchemaError(
+            f"{path}: schema {data.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    for field in ("label", "created_unix", "git_sha", "experiments"):
+        if field not in data:
+            raise SchemaError(f"{path}: missing field {field!r}")
+    experiments = data["experiments"]
+    if not isinstance(experiments, dict) or not experiments:
+        raise SchemaError(f"{path}: experiments must be a non-empty object")
+    for key, record in experiments.items():
+        for field in ("file", "wall_seconds", "benches", "ok"):
+            if field not in record:
+                raise SchemaError(f"{path}: experiment {key!r} missing {field!r}")
+        for bench_name, bench in record["benches"].items():
+            if "stats" not in bench:
+                raise SchemaError(
+                    f"{path}: bench {key}/{bench_name} missing 'stats'"
+                )
+            for stat in ("min", "mean", "max", "rounds"):
+                if stat not in bench["stats"]:
+                    raise SchemaError(
+                        f"{path}: bench {key}/{bench_name} stats missing {stat!r}"
+                    )
+
+
+def compare(
+    base: dict,
+    new: dict,
+    threshold: float = 0.25,
+    allow_missing: bool = False,
+) -> tuple[list[str], list[str]]:
+    """Compare trajectories; returns (report lines, failure descriptions)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    lines.append(
+        f"baseline {base['label']} ({base['git_sha'][:12]})"
+        f"  vs  candidate {new['label']} ({new['git_sha'][:12]})"
+    )
+    lines.append(f"threshold: +{threshold:.0%} wall time per experiment")
+    lines.append(f"{'experiment':<28}{'base':>10}{'new':>10}{'delta':>9}  verdict")
+
+    for key in sorted(base["experiments"]):
+        base_record = base["experiments"][key]
+        new_record = new["experiments"].get(key)
+        if new_record is None:
+            verdict = "MISSING"
+            if not allow_missing:
+                failures.append(f"{key}: missing from candidate")
+            lines.append(f"{key:<28}{base_record['wall_seconds']:>9.2f}s"
+                         f"{'-':>10}{'-':>9}  {verdict}")
+            continue
+        if not new_record["ok"]:
+            failures.append(f"{key}: candidate run failed")
+            lines.append(f"{key:<28}{base_record['wall_seconds']:>9.2f}s"
+                         f"{new_record['wall_seconds']:>9.2f}s{'-':>9}  FAILED")
+            continue
+        base_wall = base_record["wall_seconds"]
+        new_wall = new_record["wall_seconds"]
+        delta = (new_wall - base_wall) / base_wall if base_wall else 0.0
+        if delta > threshold:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{key}: wall time {base_wall:.2f}s -> {new_wall:.2f}s"
+                f" (+{delta:.0%} > +{threshold:.0%})"
+            )
+        elif delta < -threshold:
+            verdict = "faster"
+        else:
+            verdict = "ok"
+        lines.append(f"{key:<28}{base_wall:>9.2f}s{new_wall:>9.2f}s"
+                     f"{delta:>+8.0%}  {verdict}")
+
+    new_only = sorted(set(new["experiments"]) - set(base["experiments"]))
+    for key in new_only:
+        lines.append(f"{key:<28}{'-':>10}"
+                     f"{new['experiments'][key]['wall_seconds']:>9.2f}s"
+                     f"{'-':>9}  new")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("files", nargs="+",
+                        help="trajectory files: BASE NEW, or one file with"
+                             " --check-schema")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fail on wall-time regression beyond this"
+                             " fraction (default 0.25)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="don't fail when the candidate lacks a baseline"
+                             " experiment")
+    parser.add_argument("--check-schema", action="store_true",
+                        help="only validate the given file(s) against the"
+                             " trajectory schema")
+    args = parser.parse_args(argv)
+
+    if args.check_schema:
+        for path in args.files:
+            try:
+                data = load_trajectory(path)
+            except (OSError, json.JSONDecodeError, SchemaError) as exc:
+                print(f"schema check FAILED: {exc}", file=sys.stderr)
+                return 1
+            print(f"{path}: schema ok"
+                  f" ({len(data['experiments'])} experiments,"
+                  f" label {data['label']!r}, sha {data['git_sha'][:12]})")
+        return 0
+
+    if len(args.files) != 2:
+        parser.error("expected exactly two files: BASE NEW")
+    try:
+        base = load_trajectory(args.files[0])
+        new = load_trajectory(args.files[1])
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(f"cannot load trajectory: {exc}", file=sys.stderr)
+        return 1
+
+    lines, failures = compare(
+        base, new, threshold=args.threshold, allow_missing=args.allow_missing
+    )
+    print("\n".join(lines))
+    if failures:
+        print(f"\nREGRESSION GATE FAILED ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

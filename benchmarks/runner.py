@@ -1,0 +1,231 @@
+"""Benchmark telemetry runner: every experiment, one trajectory file.
+
+Discovers each ``benchmarks/bench_*.py`` experiment, runs its bench
+functions through the :mod:`obs_harness` stub driver (same fixture
+injection, same pytest-benchmark-shaped stats), and writes one
+schema-versioned ``BENCH_<label>.json`` at the repo root with, per
+experiment: wall time, per-bench timing stats and ``extra_info``, and the
+observability metric snapshot — plus the git SHA and timestamp of the
+run.  ``benchmarks/compare.py`` diffs two such files and gates on
+regressions, so every perf PR can state "here is the before/after
+trajectory" instead of a claim.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/runner.py --label pr2
+    PYTHONPATH=src python benchmarks/runner.py --label smoke --smoke
+    PYTHONPATH=src python benchmarks/runner.py --label x --only e6 --only f1
+
+Observability is enabled by default (the snapshot is part of the
+artifact; overhead is identical across runs being compared).  Use
+``--no-obs`` for a bare-timing run — the file records which mode it was.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import subprocess
+import sys
+import time
+import traceback
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+for path in (os.path.join(REPO_ROOT, "src"), BENCH_DIR):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro import obs  # noqa: E402
+from repro.obs.report import render_report  # noqa: E402
+
+from obs_harness import StubBenchmark, run_bench  # noqa: E402
+
+# Bump when the trajectory file shape changes.
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def discover_experiments(only: list[str] | None = None) -> list[str]:
+    """Sorted ``bench_*.py`` module names, optionally substring-filtered."""
+    names = sorted(
+        entry[:-3]
+        for entry in os.listdir(BENCH_DIR)
+        if entry.startswith("bench_") and entry.endswith(".py")
+    )
+    if only:
+        names = [n for n in names if any(pattern in n for pattern in only)]
+    return names
+
+
+def experiment_key(module_name: str) -> str:
+    return module_name.removeprefix("bench_")
+
+
+def bench_functions(module) -> list:
+    """The module's ``bench_*`` callables, in definition order."""
+    functions = [
+        obj
+        for name, obj in vars(module).items()
+        if name.startswith("bench_") and callable(obj)
+    ]
+    functions.sort(key=lambda fn: fn.__code__.co_firstlineno)
+    return functions
+
+
+def git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _obs_metrics(snapshot: dict) -> dict:
+    """The metric portion of a snapshot (spans/events stay out of the
+    trajectory file: they are per-run detail, not comparable series)."""
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+    }
+
+
+def run_experiment(
+    module_name: str, max_rounds: int | None = None, quiet: bool = True
+) -> dict:
+    """Run one experiment module; returns its trajectory record."""
+    record: dict = {"file": f"{module_name}.py", "benches": {}, "ok": True}
+    wall_start = time.perf_counter()
+    try:
+        module = importlib.import_module(module_name)
+    except Exception:
+        record["ok"] = False
+        record["error"] = traceback.format_exc(limit=3)
+        record["wall_seconds"] = time.perf_counter() - wall_start
+        return record
+    if obs.ENABLED:
+        obs.reset()
+    for bench in bench_functions(module):
+        stub = StubBenchmark(max_rounds=max_rounds)
+        bench_record: dict = {"ok": True}
+        try:
+            run_bench(bench, stub)
+        except Exception:
+            bench_record["ok"] = False
+            bench_record["error"] = traceback.format_exc(limit=3)
+            record["ok"] = False
+        bench_record["stats"] = stub.stats.as_dict()
+        bench_record["extra_info"] = _jsonable(stub.extra_info)
+        record["benches"][bench.__name__] = bench_record
+    record["wall_seconds"] = time.perf_counter() - wall_start
+    if obs.ENABLED:
+        snap = obs.snapshot()
+        record["obs"] = _obs_metrics(snap)
+        if not quiet:
+            print(render_report(snap, title=module_name))
+    return record
+
+
+def _jsonable(value):
+    """extra_info may hold bytes keys/values and tuples; normalize them."""
+    if isinstance(value, dict):
+        return {_jsonable_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _jsonable_key(key) -> str:
+    if isinstance(key, bytes):
+        return key.hex()
+    return str(key)
+
+
+def run_all(
+    label: str,
+    only: list[str] | None = None,
+    max_rounds: int | None = None,
+    use_obs: bool = True,
+    out_path: str | None = None,
+) -> tuple[dict, str]:
+    """Run every experiment and write ``BENCH_<label>.json``.
+
+    Returns (trajectory dict, output path).
+    """
+    if use_obs:
+        obs.enable()
+    trajectory: dict = {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "created_unix": time.time(),
+        "git_sha": git_sha(),
+        "obs_enabled": use_obs,
+        "smoke": max_rounds is not None,
+        "python": sys.version.split()[0],
+        "experiments": {},
+    }
+    names = discover_experiments(only)
+    for index, module_name in enumerate(names, 1):
+        key = experiment_key(module_name)
+        print(f"[{index}/{len(names)}] {key} ...", flush=True)
+        started = time.perf_counter()
+        record = run_experiment(module_name, max_rounds=max_rounds)
+        status = "ok" if record["ok"] else "FAILED"
+        print(f"    {status} in {time.perf_counter() - started:.1f}s", flush=True)
+        trajectory["experiments"][key] = record
+    out_path = out_path or os.path.join(REPO_ROOT, f"BENCH_{label}.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return trajectory, out_path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--label", required=True,
+                        help="trajectory label; writes BENCH_<label>.json")
+    parser.add_argument("--only", action="append", default=None,
+                        help="substring filter on experiment names (repeatable)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="clamp every benchmark to 1 round (CI smoke mode)")
+    parser.add_argument("--no-obs", dest="use_obs", action="store_false",
+                        help="run without the observability snapshot")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <repo>/BENCH_<label>.json)")
+    args = parser.parse_args(argv)
+
+    trajectory, out_path = run_all(
+        args.label,
+        only=args.only,
+        max_rounds=1 if args.smoke else None,
+        use_obs=args.use_obs,
+        out_path=args.out,
+    )
+    failed = [
+        key for key, record in trajectory["experiments"].items()
+        if not record["ok"]
+    ]
+    total = sum(
+        record["wall_seconds"] for record in trajectory["experiments"].values()
+    )
+    print(f"\nwrote {out_path}: {len(trajectory['experiments'])} experiments,"
+          f" {total:.1f}s total")
+    if failed:
+        print(f"FAILED experiments: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Benchmark telemetry smoke pass: record a 1-round trajectory for every
+# experiment, validate it against the repro.bench/1 schema, and self-compare
+# it through the regression gate (which must pass trivially). Catches broken
+# benchmarks, schema drift, and gate bugs without paying for a full run.
+# Run from anywhere; paths resolve relative to the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== bench: smoke trajectory (1 round per benchmark) =="
+python benchmarks/runner.py --label smoke --smoke
+
+echo "== bench: schema check =="
+python benchmarks/compare.py --check-schema BENCH_smoke.json
+
+echo "== bench: self-compare (gate sanity) =="
+python benchmarks/compare.py BENCH_smoke.json BENCH_smoke.json
+
+echo "ok: benchmark telemetry pipeline is healthy (BENCH_smoke.json)"

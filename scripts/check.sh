@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the full test suite must pass with observability off (the
 # default) and on (REPRO_OBS=1), proving instrumentation never changes
-# behavior. Run from anywhere; paths resolve relative to the repo root.
+# behavior. Pass --bench to also run the benchmark telemetry smoke pass
+# (scripts/bench.sh). Run from anywhere; paths resolve relative to the
+# repo root.
 set -euo pipefail
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    *) echo "usage: $0 [--bench]" >&2; exit 2 ;;
+  esac
+done
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -14,3 +24,7 @@ echo "== tier-1: observability enabled (REPRO_OBS=1) =="
 REPRO_OBS=1 python -m pytest -x -q
 
 echo "ok: suite passes with observability off and on"
+
+if [ "$run_bench" = 1 ]; then
+  scripts/bench.sh
+fi

@@ -277,6 +277,11 @@ class Blockchain:
             obs.observe(
                 "chain.reorg_depth", len(disconnected), obs.COUNT_BUCKETS
             )
+            obs.emit(
+                "chain.reorg",
+                depth=len(disconnected),
+                fork_height=fork_height,
+            )
 
         connected: list[BlockIndexEntry] = []
         try:
@@ -305,6 +310,12 @@ class Blockchain:
                 self._connect_inner(entry)
             obs.inc("chain.blocks_connected_total")
             obs.gauge_set("utxo.set_size", len(self.utxos))
+            obs.emit(
+                "block.connected",
+                hash=entry.block.hash,
+                height=entry.height,
+                txs=len(entry.block.txs),
+            )
         else:
             self._connect_inner(entry)
 
@@ -351,6 +362,9 @@ class Blockchain:
         if obs.ENABLED:
             obs.inc("chain.blocks_disconnected_total")
             obs.gauge_set("utxo.set_size", len(self.utxos))
+            obs.emit(
+                "block.disconnected", hash=tip_hash, height=entry.height
+            )
         return entry
 
 

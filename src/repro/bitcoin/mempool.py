@@ -77,11 +77,13 @@ class Mempool:
             return self._accept(tx)
         try:
             entry = self._accept(tx)
-        except MempoolError:
+        except MempoolError as exc:
             obs.inc("mempool.rejected_total")
+            obs.emit("tx.rejected", txid=tx.txid, reason=str(exc))
             raise
         obs.inc("mempool.accepted_total")
         obs.gauge_set("mempool.size", len(self._entries))
+        obs.emit("tx.accepted", txid=tx.txid, fee=entry.fee, size=entry.size)
         return entry
 
     def _accept(self, tx: Transaction) -> MempoolEntry:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.bitcoin.block import Block, MAX_BLOCK_SIZE, build_block
 from repro.bitcoin.chain import Blockchain, block_subsidy
 from repro.bitcoin.mempool import Mempool
@@ -47,6 +48,23 @@ class Miner:
         extra_nonce: int = 0,
     ) -> Block:
         """Build an unmined block template on the current tip."""
+        if obs.ENABLED:
+            with obs.trace_span(
+                "miner.build_template", metric="miner.template_seconds"
+            ) as span:
+                block = self._assemble_inner(mempool, timestamp, extra_nonce)
+                span.set_attr("height", self.chain.tip.height + 1)
+                span.set_attr("txs", len(block.txs))
+            obs.inc("miner.template_txs_total", len(block.txs))
+            return block
+        return self._assemble_inner(mempool, timestamp, extra_nonce)
+
+    def _assemble_inner(
+        self,
+        mempool: Mempool | None,
+        timestamp: int | None,
+        extra_nonce: int,
+    ) -> Block:
         tip = self.chain.tip
         height = tip.height + 1
         txs: list[Transaction] = []
@@ -80,7 +98,13 @@ class Miner:
         for nonce in range(self.max_nonce):
             candidate = header.with_nonce(nonce)
             if candidate.meets_target():
+                # Count attempts once on success rather than per iteration,
+                # keeping the grind loop itself observability-free.
+                if obs.ENABLED:
+                    obs.inc("miner.hash_attempts_total", nonce + 1)
                 return Block(candidate, block.txs)
+        if obs.ENABLED:
+            obs.inc("miner.hash_attempts_total", self.max_nonce)
         raise MiningError("nonce space exhausted; lower the difficulty")
 
     def mine_block(

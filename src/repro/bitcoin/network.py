@@ -132,6 +132,11 @@ class Node:
             self._orphans.setdefault(block.header.prev_hash, []).append(block)
             if obs.ENABLED:
                 obs.inc("mempool.orphans_total")
+                obs.emit(
+                    "orphan.parked",
+                    hash=block.hash,
+                    parent=block.header.prev_hash,
+                )
             return
         try:
             self.chain.add_block(block)
@@ -149,6 +154,10 @@ class Node:
         # Adopt any orphans waiting on this block.
         for child in self._orphans.pop(block.hash, []):
             self._seen_blocks.discard(child.hash)
+            if obs.ENABLED:
+                obs.emit(
+                    "orphan.resolved", hash=child.hash, parent=block.hash
+                )
             self.submit_block(child)
 
     def _relay_block(self, block: Block) -> None:

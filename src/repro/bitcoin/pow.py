@@ -9,6 +9,8 @@ Experiment E2 exercises the retarget rule directly.
 
 from __future__ import annotations
 
+from repro import obs
+
 BLOCK_INTERVAL_TARGET = 600  # seconds: ten minutes
 RETARGET_WINDOW = 2016  # blocks per difficulty period (two weeks)
 MAX_ADJUSTMENT_FACTOR = 4  # retarget clamps, as in Bitcoin
@@ -76,8 +78,18 @@ def next_target(
     actual = last_block_time - first_block_time
     actual = max(expected // MAX_ADJUSTMENT_FACTOR, actual)
     actual = min(expected * MAX_ADJUSTMENT_FACTOR, actual)
-    new_target = current_target * actual // expected
-    return min(new_target, max_target)
+    new_target = min(current_target * actual // expected, max_target)
+    if obs.ENABLED:
+        # One event per retarget computation (the chain calls this once per
+        # window boundary per validated header).
+        obs.inc("pow.retargets_total")
+        obs.emit(
+            "pow.retarget",
+            old_target=f"{current_target:x}",
+            new_target=f"{new_target:x}",
+            ratio=new_target / current_target,
+        )
+    return new_target
 
 
 def difficulty(target: int, max_target: int = MAX_TARGET) -> float:

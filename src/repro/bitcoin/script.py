@@ -590,9 +590,13 @@ def execute_script(
         machine.track_depth = True
         op_counts = {}
     ok = True
+    exhausted: ScriptResourceError | None = None
     try:
         _run(script_sig, machine, checker, op_counts)
         _run(script_pubkey, machine, checker, op_counts)
+    except ScriptResourceError as exc:
+        ok = False
+        exhausted = exc
     except ScriptError:
         ok = False
     result = ok and bool(machine.stack) and cast_to_bool(machine.stack[-1])
@@ -603,6 +607,9 @@ def execute_script(
         obs.gauge_max("script.stack_depth_hwm", machine.depth_hwm)
         if not result:
             obs.inc("script.failures_total")
+        if exhausted is not None:
+            obs.inc("script.budget_exhausted_total")
+            obs.emit("script.budget_exhausted", reason=str(exhausted))
         for op, count in op_counts.items():
             obs.inc(f"script.op.{op.name}", count)
     return result

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.bitcoin.standard import ScriptType, classify
 from repro.bitcoin.transaction import OutPoint, Transaction, TxOut
 
@@ -89,6 +90,8 @@ class UTXOSet:
             # Provably unspendable outputs never enter the table (this is the
             # one concession real nodes make to keep the table lean).
             if classify(output.script_pubkey).type is ScriptType.OP_RETURN:
+                if obs.ENABLED:
+                    obs.inc("utxo.gc_swept_total")
                 continue
             outpoint = tx.outpoint(index)
             self.add(outpoint, UTXOEntry(output, height, tx.is_coinbase))
@@ -97,6 +100,18 @@ class UTXOSet:
 
     def apply_block_txs(self, txs: list[Transaction], height: int) -> BlockUndo:
         """Apply every transaction of a block, returning the undo record."""
+        if obs.ENABLED:
+            # One span per block, not per transaction: apply is the hot path.
+            with obs.trace_span(
+                "utxo.apply_block", metric="utxo.apply_seconds",
+                height=height, txs=len(txs),
+            ):
+                return self._apply_block_txs_inner(txs, height)
+        return self._apply_block_txs_inner(txs, height)
+
+    def _apply_block_txs_inner(
+        self, txs: list[Transaction], height: int
+    ) -> BlockUndo:
         undo = BlockUndo()
         for tx in txs:
             self.apply_transaction(tx, height, undo)
@@ -104,6 +119,16 @@ class UTXOSet:
 
     def undo_block(self, undo: BlockUndo) -> None:
         """Disconnect a block: delete created outputs, restore spent ones."""
+        if obs.ENABLED:
+            with obs.trace_span(
+                "utxo.undo_block", metric="utxo.undo_seconds",
+                spent=len(undo.spent), created=len(undo.created),
+            ):
+                self._undo_block_inner(undo)
+            return
+        self._undo_block_inner(undo)
+
+    def _undo_block_inner(self, undo: BlockUndo) -> None:
         for outpoint in reversed(undo.created):
             self._entries.pop(outpoint, None)
         for spent in reversed(undo.spent):

@@ -168,9 +168,12 @@ def check_typecoin_transaction(
         if obs.ENABLED:
             with obs.trace_span("proof.check", metric="proof.check_seconds"):
                 proved, _used = infer(ctx, txn.proof)
+            obs.emit("proof.checked", outcome="ok")
         else:
             proved, _used = infer(ctx, txn.proof)
     except ProofError as exc:
+        if obs.ENABLED:
+            obs.emit("proof.checked", outcome="proof_error")
         raise ValidationFailure(f"proof does not check: {exc}") from exc
 
     proved = normalize_prop(proved)

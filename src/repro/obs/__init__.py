@@ -42,6 +42,7 @@ import os
 import time
 from typing import Callable
 
+from repro.obs.events import EVENT_KINDS, EVENT_SCHEMA_VERSION, Event, EventLog
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     DEFAULT_BUCKETS,
@@ -56,10 +57,12 @@ from repro.obs.trace import Span, Tracer, _ActiveSpan
 __all__ = [
     "ENABLED", "enable", "disable", "reset",
     "registry", "set_registry", "tracer", "set_tracer",
+    "events", "set_event_log", "emit",
     "clock", "set_clock", "reset_clock",
     "inc", "observe", "gauge_set", "gauge_max", "trace_span",
     "snapshot", "render_text", "spans",
     "Registry", "Tracer", "Span", "Counter", "Gauge", "Histogram",
+    "Event", "EventLog", "EVENT_KINDS", "EVENT_SCHEMA_VERSION",
     "COUNT_BUCKETS", "DEFAULT_BUCKETS", "CATALOGUE", "series_name",
 ]
 
@@ -100,6 +103,14 @@ CATALOGUE: tuple[tuple[str, str], ...] = (
     ("verify.claims_total", "c"),
     ("verify.carriers_total", "c"),
     ("verify.claim_seconds", "h"),
+    ("script.budget_exhausted_total", "c"),
+    ("miner.hash_attempts_total", "c"),
+    ("miner.template_txs_total", "c"),
+    ("miner.template_seconds", "h"),
+    ("pow.retargets_total", "c"),
+    ("utxo.apply_seconds", "h"),
+    ("utxo.undo_seconds", "h"),
+    ("utxo.gc_swept_total", "c"),
 )
 
 
@@ -115,8 +126,13 @@ def _declare_catalogue(reg: Registry) -> None:
             reg.histogram(name)
 
 
+def _event_clock() -> float:
+    return _clock()
+
+
 _registry = Registry()
 _tracer = Tracer()
+_events = EventLog(clock=_event_clock)
 _clock: Callable[[], float] = time.perf_counter
 
 ENABLED: bool = os.environ.get("REPRO_OBS", "") not in ("", "0")
@@ -142,9 +158,11 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Clear every series and span (catalogue re-registered if enabled)."""
+    """Clear every series, span, and event (catalogue re-registered if
+    enabled)."""
     _registry.clear()
     _tracer.clear()
+    _events.clear()
     if ENABLED:
         _declare_catalogue(_registry)
 
@@ -168,6 +186,18 @@ def tracer() -> Tracer:
 def set_tracer(trc: Tracer) -> Tracer:
     global _tracer
     previous, _tracer = _tracer, trc
+    return previous
+
+
+def events() -> EventLog:
+    return _events
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Swap the default event log (tests install poisoned stubs); returns
+    the previous one."""
+    global _events
+    previous, _events = _events, log
     return previous
 
 
@@ -217,6 +247,18 @@ def gauge_max(name: str, value: float) -> None:
     _registry.gauge_max(name, value)
 
 
+def emit(kind: str, **fields: object) -> None:
+    """Record a structured event (see :mod:`repro.obs.events`)::
+
+        if obs.ENABLED:
+            obs.emit("tx.accepted", txid=tx.txid, fee=fee, size=size)
+
+    Call only behind an ``if obs.ENABLED:`` guard — the kwargs dict alone
+    would be an allocation on the disabled path.
+    """
+    _events.emit(kind, **fields)
+
+
 def trace_span(name: str, metric: str | None = None, **attrs: object):
     """Open a traced region::
 
@@ -237,10 +279,12 @@ def trace_span(name: str, metric: str | None = None, **attrs: object):
 
 
 def snapshot() -> dict:
-    """A deterministic JSON-able view: all series plus finished spans."""
+    """A deterministic JSON-able view: all series, spans, and events."""
     snap = _registry.snapshot()
     snap["spans"] = _tracer.snapshot()
     snap["spans_dropped"] = _tracer.dropped
+    snap["events"] = _events.snapshot()
+    snap["events_dropped"] = _events.dropped
     return snap
 
 

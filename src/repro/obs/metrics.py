@@ -26,6 +26,42 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 # Buckets for small-integer distributions (reorg depth, bundle size).
 COUNT_BUCKETS: tuple[float, ...] = (1, 2, 3, 5, 8, 13, 21, 34, 55, 89)
 
+# Quantiles attached to histogram snapshots and expositions.
+SNAPSHOT_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def quantile_from_cumulative(
+    q: float, pairs: list[tuple[float | str, int]] | list[list]
+) -> float:
+    """Estimate the ``q``-quantile from cumulative ``(edge, count)`` pairs.
+
+    ``pairs`` is the :meth:`Histogram.cumulative` shape — ascending finite
+    edges followed by a final ``("+Inf", total)`` overflow entry — either
+    live or round-tripped through JSON.  Linear interpolation within the
+    bucket, Prometheus ``histogram_quantile`` style: an empty histogram
+    yields 0.0, and a quantile landing in the overflow bucket is clamped
+    to the highest finite edge (see ``repro.obs.export`` for caveats).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = pairs[-1][1]
+    if total == 0:
+        return 0.0
+    rank = q * total
+    prev_edge = 0.0
+    prev_cum = 0
+    for edge, cum in pairs:
+        if isinstance(edge, str):  # the "+Inf" overflow bucket
+            return float(prev_edge)
+        if cum >= rank:
+            in_bucket = cum - prev_cum
+            if in_bucket == 0:
+                return float(edge)
+            fraction = (rank - prev_cum) / in_bucket
+            return prev_edge + (float(edge) - prev_edge) * fraction
+        prev_edge, prev_cum = float(edge), cum
+    return float(prev_edge)
+
 
 @dataclass
 class Counter:
@@ -91,6 +127,10 @@ class Histogram:
             out.append((edge, running))
         out.append(("+Inf", running + self.counts[-1]))
         return out
+
+    def quantile(self, q: float) -> float:
+        """Interpolated ``q``-quantile estimate from the bucket counts."""
+        return quantile_from_cumulative(q, self.cumulative())
 
 
 def series_name(name: str, labels: dict[str, object]) -> str:
@@ -180,17 +220,23 @@ class Registry:
                 name: self._gauges[name].value for name in sorted(self._gauges)
             },
             "histograms": {
-                name: {
-                    "count": hist.count,
-                    "sum": hist.total,
-                    "mean": hist.mean,
-                    "buckets": [
-                        [edge, cum] for edge, cum in hist.cumulative()
-                    ],
-                }
+                name: self._histogram_snapshot(hist)
                 for name, hist in sorted(self._histograms.items())
             },
         }
+
+    @staticmethod
+    def _histogram_snapshot(hist: Histogram) -> dict:
+        cumulative = hist.cumulative()
+        snap = {
+            "count": hist.count,
+            "sum": hist.total,
+            "mean": hist.mean,
+            "buckets": [[edge, cum] for edge, cum in cumulative],
+        }
+        for q in SNAPSHOT_QUANTILES:
+            snap[f"p{round(q * 100)}"] = quantile_from_cumulative(q, cumulative)
+        return snap
 
     def render_text(self) -> str:
         """Prometheus-style text exposition of every series."""
@@ -222,4 +268,12 @@ class Registry:
             suffix = f"{{{label_body}}}" if brace else ""
             lines.append(f"{base}_sum{suffix} {hist.total}")
             lines.append(f"{base}_count{suffix} {hist.count}")
+            # Summary-style interpolated quantiles next to the raw buckets.
+            for q in SNAPSHOT_QUANTILES:
+                quant = f'quantile="{q}"'
+                value = hist.quantile(q)
+                if brace:
+                    lines.append(f"{base}{{{label_body},{quant}}} {value}")
+                else:
+                    lines.append(f"{base}{{{quant}}} {value}")
         return "\n".join(lines) + "\n"

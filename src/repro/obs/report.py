@@ -26,15 +26,20 @@ def render_report(snapshot: dict | None = None, title: str = "observability") ->
 
     histograms = snap.get("histograms", {})
     if histograms:
-        lines.append(f"{'timing series':<44}{'count':>8}{'total':>11}{'mean':>11}")
+        lines.append(
+            f"{'timing series':<44}{'count':>8}{'total':>11}{'mean':>11}"
+            f"{'p50':>11}{'p95':>11}{'p99':>11}"
+        )
         for name, hist in histograms.items():
-            if "seconds" in name:
-                total = _fmt_seconds(hist["sum"])
-                mean = _fmt_seconds(hist["mean"])
-            else:
-                total = f"{hist['sum']:g}"
-                mean = f"{hist['mean']:.2f}"
-            lines.append(f"{name:<44}{hist['count']:>8}{total:>11}{mean:>11}")
+            timing = "seconds" in name
+            fmt = _fmt_seconds if timing else lambda v: f"{v:.2f}"
+            total = _fmt_seconds(hist["sum"]) if timing else f"{hist['sum']:g}"
+            row = f"{name:<44}{hist['count']:>8}{total:>11}{fmt(hist['mean']):>11}"
+            # Quantiles are interpolated from buckets (see docs); snapshots
+            # predating the export layer may lack them.
+            for key in ("p50", "p95", "p99"):
+                row += f"{fmt(hist[key]):>11}" if key in hist else f"{'-':>11}"
+            lines.append(row)
 
     counters = snap.get("counters", {})
     if counters:
@@ -54,6 +59,11 @@ def render_report(snapshot: dict | None = None, title: str = "observability") ->
         lines.append(f"spans recorded: {len(span_list)}"
                      + (f" (dropped {snap['spans_dropped']})"
                         if snap.get("spans_dropped") else ""))
+    event_list = snap.get("events", [])
+    if event_list:
+        lines.append(f"events recorded: {len(event_list)}"
+                     + (f" (dropped {snap['events_dropped']})"
+                        if snap.get("events_dropped") else ""))
     return "\n".join(lines)
 
 

@@ -215,6 +215,9 @@ def _render(prop: Proposition) -> tuple[str, int]:
         body = pretty_prop(prop.prop)
         if prop.amount:
             return f"receipt({body}/{prop.amount} ->> {recipient})", _PREFIX
+        if isinstance(prop.prop, Zero):
+            # Bare "0" would re-parse as an amount; write 0/0 explicitly.
+            return f"receipt(0/0 ->> {recipient})", _PREFIX
         return f"receipt({body} ->> {recipient})", _PREFIX
     if isinstance(prop, Zero):
         return "0", _PREFIX

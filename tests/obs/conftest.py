@@ -30,9 +30,13 @@ def obs_sandbox():
     was_enabled = obs.ENABLED
     saved_registry = obs.set_registry(obs.Registry())
     saved_tracer = obs.set_tracer(obs.Tracer())
+    # obs.clock (not the default perf_counter) so manual_clock governs
+    # event timestamps too.
+    saved_events = obs.set_event_log(obs.EventLog(clock=obs.clock))
     yield
     obs.set_registry(saved_registry)
     obs.set_tracer(saved_tracer)
+    obs.set_event_log(saved_events)
     obs.reset_clock()
     obs.ENABLED = was_enabled
 

@@ -1,0 +1,221 @@
+"""The benchmark telemetry pipeline: stub stats, runner pieces, compare gate."""
+
+import json
+import os
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.obs
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+sys.path.insert(0, os.path.abspath(BENCH_DIR))
+
+import compare  # noqa: E402
+import runner  # noqa: E402
+from obs_harness import StubBenchmark, StubStats, run_bench  # noqa: E402
+
+
+class TestStubStats:
+    def test_pytest_benchmark_shape(self):
+        stub = StubBenchmark()
+        for value in (1, 2, 3):
+            stub(lambda v=value: v)
+        stats = stub.stats
+        assert stats.rounds == 3
+        assert stats.min <= stats.mean <= stats.max
+        assert stats["mean"] == stats.mean  # item access, like pytest-benchmark
+        assert stats["rounds"] == 3
+        for field in ("min", "max", "mean", "median", "stddev", "rounds",
+                      "total", "ops"):
+            assert field in stats.as_dict()
+
+    def test_median_and_stddev(self):
+        stats = StubStats([1.0, 2.0, 9.0])
+        assert stats.median == 2.0
+        assert stats.total == 12.0
+        assert stats.stddev > 0
+        assert StubStats([5.0]).stddev == 0.0
+        assert StubStats([]).mean == 0.0
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            StubStats([1.0])["iqr_outliers"]
+
+    def test_pedantic_records_rounds(self):
+        stub = StubBenchmark()
+        stub.pedantic(lambda: None, rounds=4)
+        assert stub.stats.rounds == 4
+
+    def test_max_rounds_clamps_pedantic(self):
+        stub = StubBenchmark(max_rounds=1)
+        stub.pedantic(lambda: None, rounds=50)
+        assert stub.stats.rounds == 1
+
+
+class TestRunBench:
+    def test_injects_conftest_fixtures(self):
+        seen = {}
+
+        def bench_probe(benchmark, net, ledger):
+            seen["net"] = net
+            seen["ledger"] = ledger
+            benchmark(lambda: None)
+
+        run_bench(bench_probe, StubBenchmark())
+        from repro.bitcoin.regtest import RegtestNetwork
+        from repro.core.validate import Ledger
+
+        assert isinstance(seen["net"], RegtestNetwork)
+        assert isinstance(seen["ledger"], Ledger)
+
+    def test_unknown_fixture_rejected(self):
+        def bench_bad(benchmark, warp_drive):
+            pass
+
+        with pytest.raises(ValueError, match="warp_drive"):
+            run_bench(bench_bad, StubBenchmark())
+
+
+class TestRunnerDiscovery:
+    def test_discovers_all_thirteen_experiments(self):
+        names = runner.discover_experiments()
+        assert len(names) == 13
+        assert all(name.startswith("bench_") for name in names)
+        assert "bench_e6_verifier_scaling" in names
+
+    def test_only_filter(self):
+        names = runner.discover_experiments(only=["e6", "f1"])
+        assert names == ["bench_e6_verifier_scaling",
+                         "bench_f1_syntax_roundtrip"]
+
+    def test_experiment_key(self):
+        assert runner.experiment_key("bench_e6_verifier_scaling") == (
+            "e6_verifier_scaling"
+        )
+
+
+def make_trajectory(label="base", wall=1.0, ok=True, sha="a" * 40):
+    stats = {"min": wall, "max": wall, "mean": wall, "median": wall,
+             "stddev": 0.0, "rounds": 1, "total": wall, "ops": 1 / wall}
+    return {
+        "schema": compare.BENCH_SCHEMA,
+        "label": label,
+        "created_unix": 0.0,
+        "git_sha": sha,
+        "obs_enabled": True,
+        "smoke": True,
+        "python": "3",
+        "experiments": {
+            "e1": {"file": "bench_e1.py", "wall_seconds": wall, "ok": ok,
+                   "benches": {"bench_e1": {"ok": ok, "stats": stats,
+                                            "extra_info": {}}}},
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_trajectories_pass(self):
+        base = make_trajectory()
+        _lines, failures = compare.compare(base, base)
+        assert failures == []
+
+    def test_regression_beyond_threshold_fails(self):
+        base = make_trajectory(wall=1.0)
+        slow = make_trajectory(label="slow", wall=2.0)
+        _lines, failures = compare.compare(base, slow, threshold=0.25)
+        assert len(failures) == 1
+        assert "e1" in failures[0] and "+100%" in failures[0]
+
+    def test_regression_within_threshold_passes(self):
+        base = make_trajectory(wall=1.0)
+        slightly = make_trajectory(label="s", wall=1.2)
+        _lines, failures = compare.compare(base, slightly, threshold=0.25)
+        assert failures == []
+
+    def test_speedup_passes(self):
+        base = make_trajectory(wall=2.0)
+        fast = make_trajectory(label="fast", wall=0.5)
+        lines, failures = compare.compare(base, fast)
+        assert failures == []
+        assert any("faster" in line for line in lines)
+
+    def test_missing_experiment_fails_unless_allowed(self):
+        base = make_trajectory()
+        new = make_trajectory(label="new")
+        new["experiments"] = {"other": base["experiments"]["e1"]}
+        _lines, failures = compare.compare(base, new)
+        assert any("missing" in failure for failure in failures)
+        _lines, failures = compare.compare(base, new, allow_missing=True)
+        assert failures == []
+
+    def test_failed_candidate_experiment_fails(self):
+        base = make_trajectory()
+        broken = make_trajectory(label="broken", ok=False)
+        _lines, failures = compare.compare(base, broken)
+        assert any("failed" in failure for failure in failures)
+
+    def test_cli_round_trip(self, tmp_path, capsys):
+        base_path = tmp_path / "BENCH_base.json"
+        slow_path = tmp_path / "BENCH_slow.json"
+        base_path.write_text(json.dumps(make_trajectory(wall=1.0)))
+        slow_path.write_text(json.dumps(make_trajectory("slow", wall=3.0)))
+        assert compare.main([str(base_path), str(base_path)]) == 0
+        assert compare.main([str(base_path), str(slow_path)]) == 1
+        assert compare.main(["--check-schema", str(base_path)]) == 0
+
+
+class TestSchema:
+    def test_valid(self):
+        compare.check_schema(make_trajectory())
+
+    def test_wrong_schema_string(self):
+        bad = make_trajectory()
+        bad["schema"] = "repro.bench/0"
+        with pytest.raises(compare.SchemaError, match="schema"):
+            compare.check_schema(bad)
+
+    def test_missing_top_level_field(self):
+        bad = make_trajectory()
+        del bad["git_sha"]
+        with pytest.raises(compare.SchemaError, match="git_sha"):
+            compare.check_schema(bad)
+
+    def test_empty_experiments(self):
+        bad = make_trajectory()
+        bad["experiments"] = {}
+        with pytest.raises(compare.SchemaError, match="non-empty"):
+            compare.check_schema(bad)
+
+    def test_bench_missing_stats_field(self):
+        bad = make_trajectory()
+        del bad["experiments"]["e1"]["benches"]["bench_e1"]["stats"]["mean"]
+        with pytest.raises(compare.SchemaError, match="mean"):
+            compare.check_schema(bad)
+
+
+class TestRunExperiment:
+    def test_records_failure_without_crashing(self, tmp_path, monkeypatch):
+        # A module whose bench raises must yield ok=False, not a crash.
+        bad = tmp_path / "bench_zz_broken.py"
+        bad.write_text(
+            "def bench_zz_boom(benchmark):\n"
+            "    raise RuntimeError('intentional')\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        record = runner.run_experiment("bench_zz_broken")
+        assert record["ok"] is False
+        bench = record["benches"]["bench_zz_boom"]
+        assert bench["ok"] is False
+        assert "intentional" in bench["error"]
+
+    def test_import_failure_recorded(self, tmp_path, monkeypatch):
+        bad = tmp_path / "bench_zz_unimportable.py"
+        bad.write_text("raise ImportError('no such dep')\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        record = runner.run_experiment("bench_zz_unimportable")
+        assert record["ok"] is False
+        assert "no such dep" in record["error"]
+
+    def test_extra_info_bytes_normalized(self):
+        assert runner._jsonable({b"\x01": (b"\x02", 3)}) == {"01": ["02", 3]}

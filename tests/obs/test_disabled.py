@@ -9,7 +9,13 @@ import pytest
 
 from repro import obs
 from repro.bitcoin.network import PoissonMiner, Simulation, build_network
-from repro.bitcoin.pow import block_work, target_to_bits
+from repro.bitcoin.pow import (
+    BLOCK_INTERVAL_TARGET,
+    RETARGET_WINDOW,
+    block_work,
+    next_target,
+    target_to_bits,
+)
 from repro.bitcoin.regtest import RegtestNetwork
 from repro.bitcoin.standard import p2pkh_script
 from repro.bitcoin.transaction import OutPoint, TxOut
@@ -41,11 +47,19 @@ class PoisonedTracer(obs.Tracer):
         raise AssertionError("tracer touched while observability is disabled")
 
 
+class PoisonedEventLog(obs.EventLog):
+    def emit(self, kind, **fields):
+        raise AssertionError(
+            "event log touched while observability is disabled"
+        )
+
+
 @pytest.fixture
 def poisoned():
     obs.disable()
     obs.set_registry(PoisonedRegistry())
     obs.set_tracer(PoisonedTracer())
+    obs.set_event_log(PoisonedEventLog())
 
 
 def test_bitcoin_pipeline_disabled_records_nothing(poisoned):
@@ -83,6 +97,15 @@ def test_network_simulation_disabled_records_nothing(poisoned):
     miner.start()
     assert sim.run_until(3600) in ("drained", "time_limit")
     assert nodes[0].chain.height > 0
+
+
+def test_retarget_and_budget_exhaustion_disabled_record_nothing(poisoned):
+    """The retarget and budget-exhaustion call sites stay silent too."""
+    from repro.bitcoin.script import Script, execute_script
+
+    next_target(2**240, 0, (RETARGET_WINDOW - 1) * BLOCK_INTERVAL_TARGET // 2)
+    # 1001 pushes blow the stack cap -> ScriptResourceError path.
+    assert execute_script(Script([b"\x01"] * 1001), Script()) is False
 
 
 def test_disabled_default_registry_stays_empty():

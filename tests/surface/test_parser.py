@@ -219,6 +219,15 @@ class TestPropParsing:
         pure = parse_prop(f"receipt(coin 1 ->> {alice})", resolver)
         assert pure.amount == 0
 
+    def test_receipt_zero_prop_round_trips(self, resolver):
+        # receipt(0 ->> K) re-parses as amount 0 over One(); the printer
+        # must write 0/0 so Receipt(Zero(), 0, K) survives a round trip.
+        alice = "#" + "aa" * 20
+        original = Receipt(Zero(), 0, PrincipalLit(b"\xaa" * 20))
+        printed = pretty_prop(original)
+        assert printed == f"receipt(0/0 ->> {alice})"
+        assert parse_prop(printed, resolver) == original
+
     def test_unknown_family(self, resolver):
         with pytest.raises(ParseError, match="unknown proposition"):
             parse_prop("wealth 5", resolver)
