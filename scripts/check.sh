@@ -2,15 +2,18 @@
 # Tier-1 gate: the full test suite must pass with observability off (the
 # default) and on (REPRO_OBS=1), proving instrumentation never changes
 # behavior. Pass --bench to also run the benchmark telemetry smoke pass
-# (scripts/bench.sh). Run from anywhere; paths resolve relative to the
-# repo root.
+# (scripts/bench.sh), and --chaos to run the seeded fault-injection smoke
+# (scripts/chaos_smoke.py). Run from anywhere; paths resolve relative to
+# the repo root.
 set -euo pipefail
 
 run_bench=0
+run_chaos=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
-    *) echo "usage: $0 [--bench]" >&2; exit 2 ;;
+    --chaos) run_chaos=1 ;;
+    *) echo "usage: $0 [--bench] [--chaos]" >&2; exit 2 ;;
   esac
 done
 
@@ -24,6 +27,11 @@ echo "== tier-1: observability enabled (REPRO_OBS=1) =="
 REPRO_OBS=1 python -m pytest -x -q
 
 echo "ok: suite passes with observability off and on"
+
+if [ "$run_chaos" = 1 ]; then
+  echo "== chaos: seeded fault-injection smoke =="
+  env -u REPRO_OBS python scripts/chaos_smoke.py
+fi
 
 if [ "$run_bench" = 1 ]; then
   scripts/bench.sh

@@ -211,6 +211,53 @@ class Blockchain:
         return target_to_bits(new_target)
 
     # ------------------------------------------------------------------
+    # Sync support (headers-first catch-up, see repro.bitcoin.sync)
+    # ------------------------------------------------------------------
+
+    def locator(self) -> list[bytes]:
+        """Block-locator hashes: dense near the tip, exponentially sparse
+        toward genesis (genesis always included).
+
+        A peer scans the list for the first hash on *its* active chain —
+        the common ancestor survives any reorg depth with O(log height)
+        hashes exchanged.
+        """
+        hashes: list[bytes] = []
+        step = 1
+        height = self.height
+        while height > 0:
+            hashes.append(self._active[height])
+            if len(hashes) >= 10:
+                step *= 2
+            height -= step
+        hashes.append(self._active[0])
+        return hashes
+
+    def hashes_after(self, locator: list[bytes], limit: int = 2000) -> list[bytes]:
+        """Active-chain hashes after the first locator hash we recognize.
+
+        The serving side of a getheaders round: the requester learns, in
+        order, which blocks it is missing.  Unknown locators degrade to
+        "everything after genesis" (the locator always carries genesis).
+        """
+        start = 0
+        for block_hash in locator:
+            entry = self._index.get(block_hash)
+            if entry is not None and self.in_active_chain(block_hash):
+                start = entry.height
+                break
+        return self._active[start + 1 : start + 1 + limit]
+
+    def export_active(self) -> list[Block]:
+        """The active chain's blocks after genesis, in height order.
+
+        This is the "on-disk" state a crashed node reloads: side branches
+        and all in-memory indexes are rebuilt (or lost) on restart, exactly
+        like a pruned node replaying its block files.
+        """
+        return [self._index[h].block for h in self._active[1:]]
+
+    # ------------------------------------------------------------------
     # Block acceptance
     # ------------------------------------------------------------------
 

@@ -1,0 +1,566 @@
+"""Chaos layer: fault injection for the P2P network simulator.
+
+The paper's security argument (§1 items 3–6) is statistical — a
+confirmation is trustworthy only because honest nodes converge *despite*
+latency, message loss, crashes, and an active attacker.  A simulator
+with a perfect network proves nothing about that claim; this module
+turns it into a testbed:
+
+* :class:`LinkPolicy` — seeded per-edge drop / duplicate / reorder
+  probabilities and latency spikes, consulted by :meth:`Node.send_to`;
+* :class:`Partition` — severs the edges between node groups at a
+  simulated time and heals them later, kicking a headers-first catch-up
+  sync (:mod:`repro.bitcoin.sync`) on every healed edge;
+* :class:`ByzantinePeer` — an adversary that feeds invalid blocks,
+  stale-tip forks, double-spends, and orphan spam, countered by per-peer
+  misbehavior scoring with ban thresholds and the bounded orphan pool;
+* :data:`PROFILES` / :func:`run_chaos` — named, seeded fault scenarios
+  whose convergence the chaos benchmark and ``scripts/check.sh --chaos``
+  assert.
+
+Everything draws randomness from the simulation's seeded RNG, so every
+chaos run — including the attacker's schedule — is exactly reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import random
+
+from repro import obs
+from repro.bitcoin.block import Block, build_block
+from repro.bitcoin.chain import block_subsidy
+from repro.bitcoin.network import Node, PoissonMiner, Simulation, build_network
+from repro.bitcoin.pow import block_work, target_to_bits
+from repro.bitcoin.script import Script
+from repro.bitcoin.standard import p2pkh_script
+from repro.bitcoin.transaction import OutPoint, Transaction, TxIn, TxOut
+from repro.bitcoin.wallet import Wallet
+
+__all__ = [
+    "LinkPlan",
+    "LinkPolicy",
+    "Partition",
+    "ByzantinePeer",
+    "BYZANTINE_BEHAVIORS",
+    "ChaosProfile",
+    "ChaosResult",
+    "PROFILES",
+    "install_link_policy",
+    "converged",
+    "run_chaos",
+]
+
+
+# ----------------------------------------------------------------------
+# Faulty links
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinkPlan:
+    """The fate of one message: zero, one, or two scheduled deliveries."""
+
+    delays: tuple[float, ...]
+    dropped: bool = False
+    duplicated: bool = False
+    spike: float = 0.0  # extra latency added by a spike, if any
+
+
+@dataclass(frozen=True)
+class LinkPolicy:
+    """Per-edge fault probabilities, evaluated per message.
+
+    Installed on a node with :meth:`Node.set_link_policy` (directional —
+    each end of an edge can fail differently).  All draws come from the
+    simulation RNG passed to :meth:`plan`, and draws are skipped for
+    zero-probability faults, so a policy only perturbs the random stream
+    for the faults it actually configures.
+    """
+
+    drop: float = 0.0  # P(message silently lost)
+    duplicate: float = 0.0  # P(delivered twice)
+    reorder: float = 0.0  # P(extra jitter lets later messages overtake)
+    spike: float = 0.0  # P(latency spike)
+    spike_mean: float = 30.0  # mean extra seconds when spiked
+    reorder_window: float = 10.0  # max extra jitter seconds
+
+    def plan(self, rng: random.Random, base_delay: float) -> LinkPlan:
+        if self.drop > 0.0 and rng.random() < self.drop:
+            return LinkPlan(delays=(), dropped=True)
+        delay = base_delay
+        spike = 0.0
+        if self.spike > 0.0 and rng.random() < self.spike:
+            spike = rng.expovariate(1.0 / self.spike_mean)
+            delay += spike
+        if self.reorder > 0.0 and rng.random() < self.reorder:
+            delay += rng.uniform(0.0, self.reorder_window)
+        if self.duplicate > 0.0 and rng.random() < self.duplicate:
+            echo = delay + rng.uniform(0.0, self.reorder_window)
+            return LinkPlan(
+                delays=(delay, echo), duplicated=True, spike=spike
+            )
+        return LinkPlan(delays=(delay,), spike=spike)
+
+
+def install_link_policy(nodes: list[Node], policy: LinkPolicy | None) -> int:
+    """Apply one policy to every existing edge among ``nodes``, both
+    directions; returns the number of directed edges configured."""
+    edges = 0
+    for node in nodes:
+        for peer in node.peers:
+            node.set_link_policy(peer, policy)
+            edges += 1
+    return edges
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+
+
+class Partition:
+    """Severs every edge between two node groups, healing them later.
+
+    Healing reconnects exactly the edges it severed (bans are honored —
+    a node that banned its ex-peer during the partition stays
+    disconnected) and starts a catch-up sync in both directions on each
+    healed edge, so both sides converge to the most-work chain.
+    """
+
+    def __init__(
+        self, sim: Simulation, group_a: list[Node], group_b: list[Node]
+    ):
+        self.sim = sim
+        self.group_a = group_a
+        self.group_b = group_b
+        self.active = False
+        self._severed: list[tuple[Node, Node]] = []
+
+    def _groups_label(self) -> str:
+        return (
+            ",".join(n.name for n in self.group_a)
+            + "|"
+            + ",".join(n.name for n in self.group_b)
+        )
+
+    def begin(self) -> int:
+        """Sever the cross-group edges now; returns how many were cut."""
+        if self.active:
+            return 0
+        self.active = True
+        for a in self.group_a:
+            for b in self.group_b:
+                if b in a.peers:
+                    a.disconnect(b)
+                    self._severed.append((a, b))
+        if obs.ENABLED:
+            obs.inc("fault.partitions_total")
+            obs.emit("fault.partition", groups=self._groups_label())
+        return len(self._severed)
+
+    def heal(self) -> int:
+        """Restore the severed edges and sync both ways; returns how many
+        edges came back."""
+        if not self.active:
+            return 0
+        self.active = False
+        severed, self._severed = self._severed, []
+        healed = 0
+        if obs.ENABLED:
+            obs.inc("fault.heals_total")
+            obs.emit("fault.heal", groups=self._groups_label())
+        from repro.bitcoin.sync import start_sync
+
+        for a, b in severed:
+            a.connect(b)
+            if b not in a.peers:
+                continue  # ban or crash kept the edge down
+            healed += 1
+            start_sync(a, b, reason="heal")
+            start_sync(b, a, reason="heal")
+        return healed
+
+    def schedule(self, at: float, heal_at: float) -> None:
+        """Arrange the episode: sever at ``at``, heal at ``heal_at``
+        (absolute simulated times)."""
+        if heal_at <= at:
+            raise ValueError("heal must come after the partition begins")
+        self.sim.schedule(max(0.0, at - self.sim.now), self.begin)
+        self.sim.schedule(max(0.0, heal_at - self.sim.now), self.heal)
+
+
+# ----------------------------------------------------------------------
+# Adversarial peers
+# ----------------------------------------------------------------------
+
+BYZANTINE_BEHAVIORS = (
+    "invalid_block",
+    "stale_fork",
+    "orphan_spam",
+    "double_spend",
+)
+
+
+class ByzantinePeer:
+    """An adversary wrapped around a normal :class:`Node`.
+
+    The underlying node gossips honestly (so the attacker stays connected
+    and informed), while this controller periodically pushes attacks at
+    its peers, cycling through ``behaviors``:
+
+    * ``invalid_block`` — a block with wrong difficulty bits: consensus-
+      invalid, worth :data:`~repro.bitcoin.network.POINTS_INVALID_BLOCK`
+      misbehavior points at each victim (two of these cross the default
+      ban threshold);
+    * ``stale_fork`` — a valid block extending an ancestor several
+      blocks behind the tip: costs the victims storage but no reorg (the
+      most-work rule holds), and no penalty — honest races produce stale
+      blocks too;
+    * ``orphan_spam`` — blocks with fabricated parent hashes, parked in
+      the victims' orphan pools until the bounded pool evicts them;
+    * ``double_spend`` — two conflicting signed spends of the same
+      mature output, each half of the network fed a different one; if
+      the attacker has no funds yet it falls back to conflicting spends
+      of a fabricated outpoint (consensus-invalid, penalized).
+
+    Give the wrapped node a :class:`PoissonMiner` with
+    ``key_hash=byz.wallet.key_hash`` to fund real double-spends.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        behaviors: tuple[str, ...] = BYZANTINE_BEHAVIORS,
+        interval: float = 1800.0,
+        fork_depth: int = 3,
+        spam_batch: int = 8,
+    ):
+        unknown = set(behaviors) - set(BYZANTINE_BEHAVIORS)
+        if unknown:
+            raise ValueError(f"unknown byzantine behaviors: {sorted(unknown)}")
+        if not behaviors:
+            raise ValueError("at least one behavior required")
+        self.node = node
+        self.behaviors = tuple(behaviors)
+        self.interval = interval
+        self.fork_depth = fork_depth
+        self.spam_batch = spam_batch
+        self.wallet = Wallet.from_seed(b"byzantine:" + node.name.encode())
+        self.attacks_sent: dict[str, int] = {b: 0 for b in self.behaviors}
+        self._ticks = 0
+        self._nonce = 0
+        self._spent: set[OutPoint] = set()
+
+    def start(self) -> None:
+        self.node.sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        if self.node.alive and self.node.peers:
+            behavior = self.behaviors[self._ticks % len(self.behaviors)]
+            getattr(self, "_attack_" + behavior)()
+            self.attacks_sent[behavior] += 1
+        self._ticks += 1
+        self.node.sim.schedule(self.interval, self._tick)
+
+    # -- helpers -------------------------------------------------------
+
+    def _coinbase(self, height: int) -> Transaction:
+        self._nonce += 1
+        tag = Script(
+            [height.to_bytes(4, "little"), self._nonce.to_bytes(4, "little")]
+        )
+        return Transaction(
+            vin=[TxIn(OutPoint.null(), tag)],
+            vout=[
+                TxOut(block_subsidy(height), p2pkh_script(self.wallet.key_hash))
+            ],
+        )
+
+    def _broadcast_block(self, block: Block) -> None:
+        for peer in self.node.peers:
+            self.node.send_to(
+                peer,
+                lambda p=peer: p.submit_block(block, origin=self.node),
+                msg="block",
+            )
+
+    # -- attacks -------------------------------------------------------
+
+    def _attack_invalid_block(self) -> None:
+        chain = self.node.chain
+        tip = chain.tip
+        height = tip.height + 1
+        bits = chain.required_bits(tip.block.hash)
+        block = build_block(
+            prev_hash=tip.block.hash,
+            txs=[self._coinbase(height)],
+            timestamp=chain.median_time_past() + 1,
+            bits=bits + 1,  # consensus-invalid: wrong difficulty bits
+        )
+        self._broadcast_block(block)
+
+    def _attack_stale_fork(self) -> None:
+        chain = self.node.chain
+        height = max(0, chain.height - self.fork_depth)
+        prev = chain.block_at(height)
+        block = build_block(
+            prev_hash=prev.hash,
+            txs=[self._coinbase(height + 1)],
+            timestamp=chain.median_time_past(prev.hash) + 1,
+            bits=chain.required_bits(prev.hash),
+        )
+        self._broadcast_block(block)
+
+    def _attack_orphan_spam(self) -> None:
+        rng = self.node.sim.rng
+        chain = self.node.chain
+        tip = chain.tip
+        for _ in range(self.spam_batch):
+            fake_parent = bytes(rng.getrandbits(8) for _ in range(32))
+            block = build_block(
+                prev_hash=fake_parent,
+                txs=[self._coinbase(1)],
+                timestamp=tip.block.header.timestamp + 1,
+                bits=tip.block.header.bits,
+            )
+            self._broadcast_block(block)
+
+    def _attack_double_spend(self) -> None:
+        chain = self.node.chain
+        fee = 10_000
+        spendables = [
+            s
+            for s in self.wallet.spendables(chain)
+            if s.outpoint not in self._spent and s.output.value > 2 * fee
+        ]
+        if spendables:
+            sp = spendables[0]
+            self._spent.add(sp.outpoint)
+            value = sp.output.value - fee
+            tx_a = Transaction(
+                vin=[TxIn(sp.outpoint)],
+                vout=[TxOut(value, p2pkh_script(self.wallet.key_hash))],
+            )
+            tx_b = Transaction(
+                vin=[TxIn(sp.outpoint)],
+                vout=[TxOut(value, p2pkh_script(b"\x42" * 20))],
+            )
+            scripts = [sp.output.script_pubkey]
+            tx_a = self.wallet.sign_all(tx_a, scripts)
+            tx_b = self.wallet.sign_all(tx_b, scripts)
+        else:
+            # Unfunded: conflicting spends of a fabricated outpoint.
+            # Consensus-invalid at every victim (missing input).
+            rng = self.node.sim.rng
+            fake = OutPoint(bytes(rng.getrandbits(8) for _ in range(32)), 0)
+            tx_a = Transaction(
+                vin=[TxIn(fake)],
+                vout=[TxOut(50_000, p2pkh_script(self.wallet.key_hash))],
+            )
+            tx_b = Transaction(
+                vin=[TxIn(fake)],
+                vout=[TxOut(50_000, p2pkh_script(b"\x42" * 20))],
+            )
+        for index, peer in enumerate(self.node.peers):
+            tx = tx_a if index % 2 == 0 else tx_b
+            self.node.send_to(
+                peer,
+                lambda p=peer, t=tx: p.submit_transaction(t, origin=self.node),
+                msg="tx",
+            )
+
+    # -- reporting -----------------------------------------------------
+
+    def banned_by(self, nodes: list[Node]) -> list[str]:
+        """Names of the given nodes that have banned this adversary."""
+        return [n.name for n in nodes if n.is_banned(self.node)]
+
+
+# ----------------------------------------------------------------------
+# Chaos profiles and the scenario runner
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """A named, fully-parameterized fault scenario."""
+
+    name: str
+    node_count: int = 6
+    miner_count: int = 4
+    duration: float = 40 * 3600.0  # simulated seconds of fault activity
+    interval: float = 600.0  # target block interval
+    latency: float = 2.0  # mean one-hop delay
+    link: LinkPolicy | None = None
+    partition_at: float | None = None
+    heal_at: float | None = None
+    crash_at: float | None = None
+    restart_at: float | None = None
+    crash_persist: bool = True
+    byzantine: tuple[str, ...] = ()
+    byzantine_interval: float = 1800.0
+    byzantine_mines: bool = False  # fund the adversary for double-spends
+    convergence_budget: float = 4 * 3600.0  # grace period after duration
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one seeded chaos run."""
+
+    profile: str
+    seed: int
+    converged: bool
+    convergence_time: float | None
+    height: int
+    tip: bytes
+    blocks_found: int
+    events_processed: int
+    utxo_consistent: bool
+    byzantine_banned_by: list[str] = field(default_factory=list)
+    stop_reason: str = ""
+
+
+def converged(nodes: list[Node]) -> bool:
+    """Do all live nodes agree on one most-work tip?"""
+    tips = {n.chain.tip.block.hash for n in nodes if n.alive}
+    return len(tips) == 1
+
+
+def utxo_sets_match(nodes: list[Node]) -> bool:
+    """Do all live nodes hold identical UTXO sets?  (With identical tips
+    this must hold — divergence here means consensus state corruption.)"""
+    live = [n for n in nodes if n.alive]
+    if not live:
+        return True
+    reference = live[0].chain.utxos.snapshot()
+    return all(n.chain.utxos.snapshot() == reference for n in live[1:])
+
+
+PROFILES: dict[str, ChaosProfile] = {
+    # 10% loss plus duplicates, reordering, and latency spikes on every
+    # edge for the whole run.
+    "lossy": ChaosProfile(
+        name="lossy",
+        link=LinkPolicy(
+            drop=0.10, duplicate=0.05, reorder=0.10, spike=0.05,
+            spike_mean=45.0,
+        ),
+    ),
+    # One clean 2-partition episode: 8 simulated hours of divergent
+    # mining, then heal and converge.
+    "partitioned": ChaosProfile(
+        name="partitioned",
+        partition_at=8 * 3600.0,
+        heal_at=16 * 3600.0,
+    ),
+    # A funded adversary cycling through every attack behavior.
+    "byzantine": ChaosProfile(
+        name="byzantine",
+        byzantine=BYZANTINE_BEHAVIORS,
+        byzantine_mines=True,
+    ),
+    # The acceptance scenario: 10% drop everywhere, one 2-partition
+    # episode, one crash/restart, and one byzantine peer — all at once.
+    "inferno": ChaosProfile(
+        name="inferno",
+        link=LinkPolicy(drop=0.10, duplicate=0.03, reorder=0.05),
+        partition_at=6 * 3600.0,
+        heal_at=12 * 3600.0,
+        crash_at=20 * 3600.0,
+        restart_at=24 * 3600.0,
+        byzantine=BYZANTINE_BEHAVIORS,
+        convergence_budget=8 * 3600.0,
+    ),
+}
+
+
+def run_chaos(profile: ChaosProfile, seed: int = 0) -> ChaosResult:
+    """Execute one seeded chaos scenario and report convergence.
+
+    Honest miners split the network hashrate; the configured faults fire
+    on their schedule; after ``profile.duration`` the run continues until
+    every honest node agrees on one tip (or the convergence budget runs
+    out).  Deterministic: the same (profile, seed) always yields the
+    same result.
+    """
+    sim = Simulation(seed=seed)
+    nodes = build_network(sim, profile.node_count, latency=profile.latency)
+    for node in nodes:
+        node.auto_sync = True  # orphans under faults re-request their past
+    honest = list(nodes)
+
+    byz: ByzantinePeer | None = None
+    if profile.byzantine:
+        byz_node = nodes[-1]
+        honest = nodes[:-1]
+        byz = ByzantinePeer(
+            byz_node,
+            behaviors=profile.byzantine,
+            interval=profile.byzantine_interval,
+        )
+        byz.start()
+
+    total_rate = block_work(target_to_bits(2**252)) / profile.interval
+    miner_count = min(profile.miner_count, len(honest))
+    shares = miner_count + (1 if byz is not None and profile.byzantine_mines else 0)
+    miners = [
+        PoissonMiner(honest[i], total_rate / shares, miner_id=i)
+        for i in range(miner_count)
+    ]
+    if byz is not None and profile.byzantine_mines:
+        # The adversary mines too (honestly publishing), funding the
+        # mature outputs its double-spends need.
+        miners.append(
+            PoissonMiner(
+                byz.node,
+                total_rate / shares,
+                miner_id=1000,
+                key_hash=byz.wallet.key_hash,
+            )
+        )
+    for miner in miners:
+        miner.start()
+
+    if profile.link is not None:
+        install_link_policy(nodes, profile.link)
+
+    if profile.partition_at is not None:
+        if profile.heal_at is None:
+            raise ValueError("a partition needs a heal time")
+        half = len(nodes) // 2
+        partition = Partition(sim, nodes[:half], nodes[half:])
+        partition.schedule(profile.partition_at, profile.heal_at)
+
+    if profile.crash_at is not None:
+        if profile.restart_at is None or profile.restart_at <= profile.crash_at:
+            raise ValueError("restart must come after the crash")
+        victim = honest[1 % len(honest)]
+        sim.schedule(profile.crash_at, victim.crash)
+        sim.schedule(
+            profile.restart_at,
+            lambda: victim.restart(persist_chain=profile.crash_persist),
+        )
+
+    sim.run_until(profile.duration)
+    stop_reason = sim.run_while(
+        lambda: not converged(honest),
+        limit=profile.duration + profile.convergence_budget,
+    )
+    is_converged = converged(honest)
+    live = [n for n in honest if n.alive]
+    tip = live[0].chain.tip
+    return ChaosResult(
+        profile=profile.name,
+        seed=seed,
+        converged=is_converged,
+        convergence_time=sim.now if is_converged else None,
+        height=tip.height,
+        tip=tip.block.hash,
+        blocks_found=sum(m.blocks_found for m in miners),
+        events_processed=sim.events_processed,
+        utxo_consistent=utxo_sets_match(honest) if is_converged else False,
+        byzantine_banned_by=byz.banned_by(honest) if byz is not None else [],
+        stop_reason=stop_reason,
+    )

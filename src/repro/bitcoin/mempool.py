@@ -26,6 +26,17 @@ class MempoolError(Exception):
     """A transaction was refused by mempool policy or validity checks."""
 
 
+class MempoolValidationError(MempoolError):
+    """Refused because the transaction is *consensus-invalid* (bad script,
+    missing input, value overflow) — not merely against relay policy.
+
+    Peers distinguish the two when scoring misbehavior: an honest node can
+    innocently relay a policy-refused or stale transaction, but it never
+    relays one that fails consensus validation, so only this subclass
+    carries misbehavior points (see ``Node.submit_transaction``).
+    """
+
+
 @dataclass
 class MempoolEntry:
     tx: Transaction
@@ -118,7 +129,7 @@ class Mempool:
         try:
             validity = check_tx_inputs(tx, self.chain.utxos, self.chain.height + 1)
         except ValidationError as exc:
-            raise MempoolError(str(exc)) from exc
+            raise MempoolValidationError(str(exc)) from exc
 
         size = len(tx.serialize())
         if validity.fee < self.min_fee_rate * size:
@@ -142,6 +153,15 @@ class Mempool:
                 and out.value < DUST_THRESHOLD
             ):
                 raise MempoolError(f"output {index} is dust ({out.value} sat)")
+
+    def clear(self) -> int:
+        """Drop every entry (a crash loses the mempool); returns the count."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._spent.clear()
+        if obs.ENABLED:
+            obs.gauge_set("mempool.size", 0)
+        return dropped
 
     def remove(self, txid: bytes) -> None:
         entry = self._entries.pop(txid, None)

@@ -19,18 +19,30 @@ from __future__ import annotations
 import heapq
 import math
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import obs
 from repro.bitcoin.block import Block
 from repro.bitcoin.chain import Blockchain, ChainParams
-from repro.bitcoin.mempool import Mempool, MempoolError
+from repro.bitcoin.mempool import Mempool, MempoolError, MempoolValidationError
 from repro.bitcoin.miner import Miner
 from repro.bitcoin.pow import block_work
 from repro.bitcoin.transaction import Transaction
 from repro.bitcoin.validation import ValidationError
 from repro.bitcoin.wallet import Wallet
+
+# Misbehavior points per offense (see Node.penalize).  An honest node never
+# relays a consensus-invalid block — it validates before relaying — so two
+# invalid blocks cross the default ban threshold.  Consensus-invalid
+# transactions are nearly as damning, except a "missing or spent input"
+# can reach us innocently (the input was spent while the tx was in flight,
+# e.g. either side of a double-spend race), so it costs only a token amount.
+POINTS_INVALID_BLOCK = 50
+POINTS_INVALID_TX = 10
+POINTS_STALE_TX = 2
+DEFAULT_BAN_THRESHOLD = 100
 
 
 # How an event-loop run stopped.  Callers (and the event-loop gauges) use
@@ -96,7 +108,14 @@ class Simulation:
 
 @dataclass
 class Node:
-    """A full node participating in block and transaction gossip."""
+    """A full node participating in block and transaction gossip.
+
+    Beyond the happy path, the node carries the chaos-layer machinery:
+    per-edge fault policies (``set_link_policy``), peer misbehavior
+    scoring with disconnect/ban (``penalize``), crash/restart with
+    optional chain persistence, and bounded seen-sets and orphan pool so
+    an adversary cannot grow memory without limit.
+    """
 
     name: str
     sim: Simulation
@@ -105,42 +124,267 @@ class Node:
     chain: Blockchain = field(init=False)
     mempool: Mempool = field(init=False)
     peers: list["Node"] = field(default_factory=list)
+    seen_limit: int = 10_000  # per-kind cap on the seen-hash sets
+    orphan_limit: int = 64  # cap on parked parent-less blocks
+    ban_threshold: int = DEFAULT_BAN_THRESHOLD
+    # Start a catch-up sync with the sender whenever an orphan arrives.
+    # Off by default: on a loss-free network gossip always delivers the
+    # parent, and the extra sync traffic would perturb the seeded random
+    # stream of existing perfect-network experiments (E1/A1).  Chaos runs
+    # (repro.bitcoin.faults.run_chaos) turn it on — with dropped messages
+    # an orphan is evidence the parent may never arrive on its own.
+    auto_sync: bool = False
+    alive: bool = field(default=True, init=False)
 
     def __post_init__(self) -> None:
         self.chain = Blockchain(self.params)
         self.mempool = Mempool(self.chain)
-        self._orphans: dict[bytes, list[Block]] = {}
-        self._seen_blocks: set[bytes] = {self.chain.genesis.hash}
-        self._seen_txs: set[bytes] = set()
+        # Orphans: block hash -> Block, insertion-ordered for eviction,
+        # plus a parent-hash index for adoption on parent arrival.
+        self._orphans: OrderedDict[bytes, Block] = OrderedDict()
+        self._orphans_by_parent: dict[bytes, list[bytes]] = {}
+        # Seen sets are insertion-ordered and bounded (LRU-ish FIFO): a
+        # hash evicted and re-received is deduplicated against the chain /
+        # mempool instead, so boundedness never breaks correctness.
+        self._seen_blocks: OrderedDict[bytes, None] = OrderedDict()
+        self._seen_blocks[self.chain.genesis.hash] = None
+        self._seen_txs: OrderedDict[bytes, None] = OrderedDict()
+        # Chaos-layer state: per-peer-name outbound fault policy, active
+        # sync sessions, misbehavior scores, and the ban list.
+        self._link_policies: dict[str, object] = {}
+        self._syncs: dict[str, object] = {}
+        self._misbehavior: dict[str, int] = {}
+        self._banned: set[str] = set()
+        self._peers_at_crash: list["Node"] = []
 
-    def connect(self, other: "Node") -> None:
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def connect(self, other: "Node") -> bool:
+        """Create the (bidirectional) edge to ``other``; returns True if
+        any direction was newly added.
+
+        Idempotent — concurrent partition healing and crash-recovery may
+        both reconnect the same edge — and refused entirely when either
+        side has banned the other (or ``other`` is this node).
+        """
+        if other is self:
+            return False
+        if other.name in self._banned or self.name in other._banned:
+            return False
+        changed = False
         if other not in self.peers:
             self.peers.append(other)
+            changed = True
         if self not in other.peers:
             other.peers.append(self)
+            changed = True
+        return changed
+
+    def disconnect(self, other: "Node") -> bool:
+        """Tear down the edge to ``other`` (inverse of :meth:`connect`);
+        returns True if any direction existed.  Aborts in-flight sync
+        sessions over the edge."""
+        changed = False
+        if other in self.peers:
+            self.peers.remove(other)
+            changed = True
+        if self in other.peers:
+            other.peers.remove(self)
+            changed = True
+        if changed:
+            self._abort_sync(other.name, "disconnected")
+            other._abort_sync(self.name, "disconnected")
+        return changed
+
+    def set_link_policy(self, peer: "Node", policy: object | None) -> None:
+        """Install (or clear, with None) the outbound fault policy for the
+        edge to ``peer`` — an object with ``plan(rng, base_delay)``, see
+        :class:`repro.bitcoin.faults.LinkPolicy`."""
+        if policy is None:
+            self._link_policies.pop(peer.name, None)
+        else:
+            self._link_policies[peer.name] = policy
+
+    def _abort_sync(self, peer_name: str, reason: str) -> None:
+        session = self._syncs.get(peer_name)
+        if session is not None:
+            session.abort(reason)
 
     def _hop_delay(self) -> float:
         # Exponential jitter around the configured mean.
         return self.sim.rng.expovariate(1.0 / self.latency)
 
-    def submit_block(self, block: Block) -> None:
-        """Accept a locally-mined or received block, then relay it."""
+    def send_to(self, peer: "Node", action: Callable[[], None], msg: str) -> None:
+        """Schedule delivery of one message to ``peer`` over the link.
+
+        Without a fault policy this is exactly the pre-chaos relay path —
+        one exponential hop delay, one scheduled delivery — so perfect-
+        network simulations are bit-for-bit unchanged.  With a policy the
+        message may be dropped, duplicated, reordered, or hit a latency
+        spike, each recorded as a ``fault.*`` event.
+        """
+        base = self._hop_delay()
+        policy = self._link_policies.get(peer.name)
+        if policy is None:
+            self.sim.schedule(base, action)
+            return
+        plan = policy.plan(self.sim.rng, base)
+        if obs.ENABLED:
+            edge = f"{self.name}->{peer.name}"
+            if plan.dropped:
+                obs.inc("fault.msgs_dropped_total")
+                obs.emit("fault.drop", edge=edge, msg=msg)
+            else:
+                if plan.spike:
+                    obs.inc("fault.latency_spikes_total")
+                    obs.emit("fault.delay", edge=edge, msg=msg, extra=plan.spike)
+                if plan.duplicated:
+                    obs.inc("fault.msgs_duplicated_total")
+                    obs.emit("fault.duplicate", edge=edge, msg=msg)
+        for delay in plan.delays:
+            self.sim.schedule(delay, action)
+
+    # ------------------------------------------------------------------
+    # Misbehavior scoring
+    # ------------------------------------------------------------------
+
+    def penalize(self, origin: "Node | None", points: int, reason: str) -> None:
+        """Charge ``origin`` misbehavior points; ban at the threshold.
+
+        ``origin=None`` (a locally-produced object) is never penalized.
+        Banning disconnects the peer and refuses future connects from it.
+        """
+        if origin is None or points <= 0:
+            return
+        score = self._misbehavior.get(origin.name, 0) + points
+        self._misbehavior[origin.name] = score
+        if obs.ENABLED:
+            obs.inc("peer.misbehavior_points_total", points)
+            obs.emit(
+                "peer.misbehavior",
+                node=self.name,
+                peer=origin.name,
+                points=points,
+                score=score,
+                reason=reason,
+            )
+        if score >= self.ban_threshold and origin.name not in self._banned:
+            self._banned.add(origin.name)
+            if obs.ENABLED:
+                obs.inc("peer.bans_total")
+                obs.emit(
+                    "peer.banned", node=self.name, peer=origin.name, score=score
+                )
+            self.disconnect(origin)
+
+    def misbehavior_score(self, peer: "Node") -> int:
+        return self._misbehavior.get(peer.name, 0)
+
+    def is_banned(self, peer: "Node") -> bool:
+        return peer.name in self._banned
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: drop mempool, orphans and seen-txs, sever all edges.
+
+        The chain object survives in memory as the node's "disk"; whether
+        restart reloads it is :meth:`restart`'s choice.  In-flight
+        deliveries to this node are silently lost (the delivery guard
+        checks ``alive``), exactly like frames to a dead host.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self._peers_at_crash = list(self.peers)
+        for peer in list(self.peers):
+            self.disconnect(peer)
+        self.mempool.clear()
+        self._orphans.clear()
+        self._orphans_by_parent.clear()
+        self._seen_txs.clear()
+        if obs.ENABLED:
+            obs.inc("fault.crashes_total")
+            obs.emit("fault.crash", node=self.name)
+
+    def restart(self, persist_chain: bool = True, resync: bool = True) -> None:
+        """Come back up, optionally reloading the persisted chain, then
+        reconnect to the pre-crash peers and catch-up sync with each.
+
+        ``persist_chain=True`` replays the exported active chain through
+        full validation (a pruned node re-reading its block files); False
+        models lost storage — the node restarts from genesis and must
+        re-download everything from its peers.
+        """
+        if self.alive:
+            return
+        if persist_chain:
+            blocks = self.chain.export_active()
+            chain = Blockchain(self.params)
+            for block in blocks:
+                chain.add_block(block)
+            self.chain = chain
+        else:
+            self.chain = Blockchain(self.params)
+        self.mempool = Mempool(self.chain)
+        self._seen_blocks = OrderedDict()
+        self._seen_blocks[self.chain.genesis.hash] = None
+        self.alive = True
+        if obs.ENABLED:
+            obs.inc("fault.restarts_total")
+            obs.emit("fault.restart", node=self.name, persisted=persist_chain)
+        peers, self._peers_at_crash = self._peers_at_crash, []
+        from repro.bitcoin.sync import start_sync
+
+        for peer in peers:
+            self.connect(peer)
+            if resync and peer in self.peers:
+                start_sync(self, peer, reason="restart")
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+
+    def _remember(self, seen: OrderedDict, key: bytes, kind: str) -> None:
+        seen[key] = None
+        evicted = 0
+        while len(seen) > self.seen_limit:
+            seen.popitem(last=False)
+            evicted += 1
+        if evicted and obs.ENABLED:
+            obs.inc("net.seen_evicted_total", evicted)
+            obs.emit("seen.evicted", node=self.name, pool=kind, count=evicted)
+
+    def submit_block(self, block: Block, origin: "Node | None" = None) -> None:
+        """Accept a locally-mined or received block, then relay it.
+
+        ``origin`` is the peer the block arrived from (None when locally
+        produced); consensus-invalid blocks charge it misbehavior points.
+        """
+        if not self.alive:
+            return
         if block.hash in self._seen_blocks:
             return
-        self._seen_blocks.add(block.hash)
+        self._remember(self._seen_blocks, block.hash, "block")
+        if self.chain.has_block(block.hash):
+            # Re-delivered after seen-set eviction: already stored.
+            return
         if not self.chain.has_block(block.header.prev_hash):
-            self._orphans.setdefault(block.header.prev_hash, []).append(block)
-            if obs.ENABLED:
-                obs.inc("mempool.orphans_total")
-                obs.emit(
-                    "orphan.parked",
-                    hash=block.hash,
-                    parent=block.header.prev_hash,
-                )
+            self._park_orphan(block, origin)
             return
         try:
             self.chain.add_block(block)
-        except ValidationError:
+        except ValidationError as exc:
+            if obs.ENABLED:
+                obs.inc("chain.blocks_rejected_total")
+                obs.emit("block.rejected", hash=block.hash, reason=str(exc))
+            self.penalize(
+                origin, POINTS_INVALID_BLOCK, f"invalid block: {exc}"
+            )
             return
         if obs.ENABLED:
             birth = self.sim.block_births.get(block.hash)
@@ -152,33 +396,94 @@ class Node:
         self.mempool.revalidate()
         self._relay_block(block)
         # Adopt any orphans waiting on this block.
-        for child in self._orphans.pop(block.hash, []):
-            self._seen_blocks.discard(child.hash)
+        for child_hash in self._orphans_by_parent.pop(block.hash, []):
+            child = self._orphans.pop(child_hash, None)
+            if child is None:
+                continue  # evicted while parked
+            self._seen_blocks.pop(child.hash, None)
             if obs.ENABLED:
                 obs.emit(
                     "orphan.resolved", hash=child.hash, parent=block.hash
                 )
             self.submit_block(child)
 
+    def _park_orphan(self, block: Block, origin: "Node | None") -> None:
+        """Hold a parent-less block in the bounded orphan pool and kick a
+        catch-up sync with whoever sent it (we are evidently behind)."""
+        if block.hash in self._orphans:
+            return
+        self._orphans[block.hash] = block
+        self._orphans_by_parent.setdefault(
+            block.header.prev_hash, []
+        ).append(block.hash)
+        if obs.ENABLED:
+            obs.inc("mempool.orphans_total")
+            obs.emit(
+                "orphan.parked",
+                hash=block.hash,
+                parent=block.header.prev_hash,
+            )
+        while len(self._orphans) > self.orphan_limit:
+            old_hash, old = self._orphans.popitem(last=False)
+            siblings = self._orphans_by_parent.get(old.header.prev_hash)
+            if siblings is not None:
+                if old_hash in siblings:
+                    siblings.remove(old_hash)
+                if not siblings:
+                    self._orphans_by_parent.pop(old.header.prev_hash, None)
+            if obs.ENABLED:
+                obs.inc("mempool.orphans_evicted_total")
+                obs.emit(
+                    "orphan.evicted",
+                    hash=old_hash,
+                    parent=old.header.prev_hash,
+                )
+        if self.auto_sync and origin is not None and origin.alive:
+            from repro.bitcoin.sync import start_sync
+
+            start_sync(self, origin, reason="orphan")
+
     def _relay_block(self, block: Block) -> None:
         if obs.ENABLED and self.peers:
             obs.inc("net.blocks_relayed_total", len(self.peers))
         for peer in self.peers:
-            self.sim.schedule(self._hop_delay(), lambda p=peer: p.submit_block(block))
+            self.send_to(
+                peer,
+                lambda p=peer: p.submit_block(block, origin=self),
+                msg="block",
+            )
 
-    def submit_transaction(self, tx: Transaction) -> bool:
+    def submit_transaction(
+        self, tx: Transaction, origin: "Node | None" = None
+    ) -> bool:
+        if not self.alive:
+            return False
         if tx.txid in self._seen_txs:
             return False
-        self._seen_txs.add(tx.txid)
+        self._remember(self._seen_txs, tx.txid, "tx")
         try:
             self.mempool.accept(tx)
+        except MempoolValidationError as exc:
+            reason = str(exc)
+            points = (
+                POINTS_STALE_TX
+                if "missing or spent input" in reason
+                else POINTS_INVALID_TX
+            )
+            self.penalize(origin, points, f"invalid tx: {reason}")
+            return False
         except MempoolError:
+            # Policy refusals (dust, fees, non-standard, duplicates) are
+            # not evidence of malice: honest peers relay under different
+            # policies.
             return False
         if obs.ENABLED and self.peers:
             obs.inc("net.txs_relayed_total", len(self.peers))
         for peer in self.peers:
-            self.sim.schedule(
-                self._hop_delay(), lambda p=peer: p.submit_transaction(tx)
+            self.send_to(
+                peer,
+                lambda p=peer: p.submit_transaction(tx, origin=self),
+                msg="tx",
             )
         return True
 
@@ -199,14 +504,18 @@ class PoissonMiner:
         hashrate: float,
         miner_id: int,
         enabled: bool = True,
+        key_hash: bytes | None = None,
     ):
         self.node = node
         self.hashrate = hashrate
         self.miner_id = miner_id
         self.enabled = enabled
         self.blocks_found = 0
-        key = Wallet.from_seed(b"miner" + miner_id.to_bytes(4, "big"))
-        self._miner = Miner(node.chain, key.key_hash)
+        if key_hash is None:
+            key = Wallet.from_seed(b"miner" + miner_id.to_bytes(4, "big"))
+            key_hash = key.key_hash
+        self._key_hash = key_hash
+        self._miner = Miner(node.chain, key_hash)
         self._extra_nonce = 0
 
     def start(self) -> None:
@@ -221,7 +530,11 @@ class PoissonMiner:
         self.node.sim.schedule(delay, self._on_found)
 
     def _on_found(self) -> None:
-        if self.enabled:
+        if self.enabled and self.node.alive:
+            if self._miner.chain is not self.node.chain:
+                # The node restarted and reloaded (or reset) its chain;
+                # mine on the live object, not the pre-crash one.
+                self._miner = Miner(self.node.chain, self._key_hash)
             self._extra_nonce += 1
             # Anchor simulated seconds at the genesis timestamp so header
             # times track the simulation clock (the retarget rule reads them).

@@ -111,6 +111,26 @@ CATALOGUE: tuple[tuple[str, str], ...] = (
     ("utxo.apply_seconds", "h"),
     ("utxo.undo_seconds", "h"),
     ("utxo.gc_swept_total", "c"),
+    # Chaos layer: fault injection, partitions, crash/restart.
+    ("fault.msgs_dropped_total", "c"),
+    ("fault.msgs_duplicated_total", "c"),
+    ("fault.latency_spikes_total", "c"),
+    ("fault.partitions_total", "c"),
+    ("fault.heals_total", "c"),
+    ("fault.crashes_total", "c"),
+    ("fault.restarts_total", "c"),
+    # Catch-up sync sessions (headers-first re-request on reconnect).
+    ("sync.sessions_total", "c"),
+    ("sync.blocks_fetched_total", "c"),
+    ("sync.timeouts_total", "c"),
+    ("sync.retries_total", "c"),
+    ("sync.failures_total", "c"),
+    # Peer misbehavior scoring and bounded-pool evictions.
+    ("chain.blocks_rejected_total", "c"),
+    ("peer.misbehavior_points_total", "c"),
+    ("peer.bans_total", "c"),
+    ("net.seen_evicted_total", "c"),
+    ("mempool.orphans_evicted_total", "c"),
 )
 
 

@@ -52,6 +52,27 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "proof.checked": ("outcome",),
     "script.budget_exhausted": ("reason",),
     "pow.retarget": ("old_target", "new_target", "ratio"),
+    # Chaos layer: fault injection on links, partitions, crashes.
+    "fault.drop": ("edge", "msg"),
+    "fault.duplicate": ("edge", "msg"),
+    "fault.delay": ("edge", "msg", "extra"),
+    "fault.partition": ("groups",),
+    "fault.heal": ("groups",),
+    "fault.crash": ("node",),
+    "fault.restart": ("node", "persisted"),
+    # Headers-first catch-up sync after reconnect / missed relays.
+    "sync.started": ("node", "peer", "reason"),
+    "sync.headers": ("node", "peer", "count"),
+    "sync.request": ("node", "peer", "what", "attempt"),
+    "sync.timeout": ("node", "peer", "what", "attempt"),
+    "sync.completed": ("node", "peer", "blocks"),
+    "sync.failed": ("node", "peer", "reason"),
+    # Misbehavior scoring and rejected blocks (chaos satellite tasks).
+    "block.rejected": ("hash", "reason"),
+    "peer.misbehavior": ("node", "peer", "points", "score", "reason"),
+    "peer.banned": ("node", "peer", "score"),
+    "orphan.evicted": ("hash", "parent"),
+    "seen.evicted": ("node", "pool", "count"),
 }
 
 

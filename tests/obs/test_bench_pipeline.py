@@ -78,11 +78,12 @@ class TestRunBench:
 
 
 class TestRunnerDiscovery:
-    def test_discovers_all_thirteen_experiments(self):
+    def test_discovers_all_fourteen_experiments(self):
         names = runner.discover_experiments()
-        assert len(names) == 13
+        assert len(names) == 14
         assert all(name.startswith("bench_") for name in names)
         assert "bench_e6_verifier_scaling" in names
+        assert "bench_a2_chaos_convergence" in names
 
     def test_only_filter(self):
         names = runner.discover_experiments(only=["e6", "f1"])
