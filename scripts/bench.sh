@@ -18,4 +18,10 @@ python benchmarks/compare.py --check-schema BENCH_smoke.json
 echo "== bench: self-compare (gate sanity) =="
 python benchmarks/compare.py BENCH_smoke.json BENCH_smoke.json
 
+echo "== bench: regression gate vs committed BENCH_pr2.json baseline =="
+# The smoke candidate runs 1 round per bench, so it can only trip the gate
+# by regressing catastrophically (>25% over a full-run baseline); benches
+# added after pr2 show up as candidate-only rows.
+python benchmarks/compare.py BENCH_pr2.json BENCH_smoke.json
+
 echo "ok: benchmark telemetry pipeline is healthy (BENCH_smoke.json)"

@@ -26,7 +26,12 @@ from repro.bitcoin.pow import (
 )
 from repro.bitcoin.transaction import COIN, OutPoint, Script, Transaction, TxIn, TxOut
 from repro.bitcoin.utxo import BlockUndo, UTXOSet
-from repro.bitcoin.validation import ValidationError, check_tx_inputs
+from repro.bitcoin.validation import (
+    ParallelScriptVerifier,
+    ScriptJob,
+    ValidationError,
+    check_tx_inputs,
+)
 
 HALVING_INTERVAL = 210_000
 INITIAL_SUBSIDY = 50 * COIN
@@ -95,8 +100,15 @@ class _ConnectedState:
 class Blockchain:
     """The full node state: block tree, active chain, UTXO set, tx index."""
 
-    def __init__(self, params: ChainParams | None = None):
+    def __init__(
+        self,
+        params: ChainParams | None = None,
+        script_verifier: ParallelScriptVerifier | None = None,
+    ):
         self.params = params or ChainParams.regtest()
+        # workers=1 verifies serially in-process; pass a verifier with more
+        # workers to fan block-connect script checks across a process pool.
+        self.script_verifier = script_verifier or ParallelScriptVerifier(workers=1)
         self.genesis = make_genesis(self.params)
         genesis_hash = self.genesis.hash
         self._index: dict[bytes, BlockIndexEntry] = {
@@ -373,11 +385,24 @@ class Blockchain:
             from repro.bitcoin.validation import is_final
 
             fees = 0
+            script_jobs: list[ScriptJob] = []
             for tx in block.txs[1:]:
                 if not is_final(tx, height, block.header.timestamp):
                     raise ValidationError("non-final transaction in block")
-                result = check_tx_inputs(tx, self.utxos, height)
+                # Contextual checks first (inputs exist, maturity, fee); the
+                # script work is collected and run as one batch below so it
+                # can fan out across the verifier's workers.
+                result = check_tx_inputs(
+                    tx, self.utxos, height, verify_scripts=False
+                )
                 fees += result.fee
+                for index, txin in enumerate(tx.vin):
+                    utxo_entry = self.utxos.get(txin.prevout)
+                    assert utxo_entry is not None  # check_tx_inputs passed
+                    script_jobs.append(
+                        (tx, index, utxo_entry.output.script_pubkey)
+                    )
+            self.script_verifier.verify_all(script_jobs)
             coinbase_value = block.txs[0].total_output_value()
             if coinbase_value > block_subsidy(height) + fees:
                 raise ValidationError("coinbase pays more than subsidy plus fees")

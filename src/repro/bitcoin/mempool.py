@@ -126,6 +126,9 @@ class Mempool:
         ):
             raise MempoolError("transaction is not final (locktime)")
 
+        # Full input validation also warms the process-wide signature cache
+        # (repro.bitcoin.sigcache): when a block containing this transaction
+        # is connected later, its ECDSA checks are cache hits.
         try:
             validity = check_tx_inputs(tx, self.chain.utxos, self.chain.height + 1)
         except ValidationError as exc:

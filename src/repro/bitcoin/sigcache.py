@@ -1,0 +1,90 @@
+"""Bounded signature-verification cache shared across validation contexts.
+
+A transaction's scripts are verified twice on the happy path: once at
+mempool acceptance and again when a block containing it is connected.  The
+ECDSA check is by far the dominant cost, and its verdict is a pure function
+of ``(digest, pubkey, signature)``.  Caching by that full triple is sound
+even under signature malleability (Andrychowicz et al., PAPERS.md): a
+malleated signature is *different bytes* and simply misses the cache — it
+never inherits the original's verdict.
+
+Negative verdicts are cached too, for the same reason: the triple pins the
+exact check, so a recorded ``False`` can only be returned for a byte-equal
+re-ask.
+
+The cache is a bounded LRU (``collections.OrderedDict``); one process-wide
+default instance is shared by the mempool and block-connect paths so work
+done at acceptance is skipped at connect.  Differential tests swap it out
+or disable it entirely via :func:`set_default_cache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro import obs
+
+DEFAULT_MAX_ENTRIES = 65_536
+
+# digest, pubkey bytes, signature bytes (without the hashtype byte).
+CacheKey = tuple[bytes, bytes, bytes]
+
+
+class SignatureCache:
+    """Bounded LRU of ECDSA verification verdicts keyed by the full triple."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("signature cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[CacheKey, bool] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: bytes, pubkey: bytes, sig: bytes) -> bool | None:
+        """The cached verdict for the triple, or ``None`` on a miss."""
+        key = (digest, pubkey, sig)
+        verdict = self._entries.get(key)
+        if verdict is None:
+            if obs.ENABLED:
+                obs.inc("sigcache.misses_total")
+            return None
+        self._entries.move_to_end(key)
+        if obs.ENABLED:
+            obs.inc("sigcache.hits_total")
+        return verdict
+
+    def put(self, digest: bytes, pubkey: bytes, sig: bytes, verdict: bool) -> None:
+        """Record a verdict, evicting the least-recently-used on overflow."""
+        key = (digest, pubkey, sig)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = verdict
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            if obs.ENABLED:
+                obs.inc("sigcache.evictions_total")
+        if obs.ENABLED:
+            obs.gauge_set("sigcache.size", len(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+        if obs.ENABLED:
+            obs.gauge_set("sigcache.size", 0)
+
+
+_default_cache: SignatureCache | None = SignatureCache()
+
+
+def default_cache() -> SignatureCache | None:
+    """The process-wide shared cache, or ``None`` when caching is disabled."""
+    return _default_cache
+
+
+def set_default_cache(cache: SignatureCache | None) -> SignatureCache | None:
+    """Replace the shared cache (``None`` disables); returns the old one."""
+    global _default_cache
+    old = _default_cache
+    _default_cache = cache
+    return old

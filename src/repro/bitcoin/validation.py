@@ -16,11 +16,13 @@ the whole prior output); rules 1, 3, 4 are checked here against a UTXO view.
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
 
 from repro import obs
-from repro.bitcoin.script import execute_script
-from repro.bitcoin.sighash import signature_hash
+from repro.bitcoin import sigcache
+from repro.bitcoin.script import Script, execute_script
+from repro.bitcoin.sighash import SighashCache, signature_hash
 from repro.bitcoin.transaction import MAX_MONEY, Transaction
 from repro.bitcoin.utxo import COINBASE_MATURITY, UTXOSet
 from repro.crypto.ecdsa import Signature, verify as ecdsa_verify
@@ -87,12 +89,28 @@ def check_transaction(tx: Transaction) -> None:
             raise ValidationError("null prevout in non-coinbase transaction")
 
 
-def make_sig_checker(tx: Transaction, input_index: int, script_code):
+# Sentinel: "use the process-wide default signature cache".  Callers pass
+# an explicit ``None`` to bypass caching (differential tests do).
+_DEFAULT_SIG_CACHE = object()
+
+
+def make_sig_checker(
+    tx: Transaction,
+    input_index: int,
+    script_code,
+    sighash_cache: SighashCache | None = None,
+    sig_cache=_DEFAULT_SIG_CACHE,
+):
     """Build the script-engine signature callback for one input.
 
     The callback receives ``signature || hashtype_byte`` and a pubkey, as
     Bitcoin scripts push them, computes the corresponding sighash over the
     *spending* transaction, and verifies with ECDSA.
+
+    ``sighash_cache`` (built per transaction) reuses serialization midstates
+    across this transaction's inputs; ``sig_cache`` skips ECDSA entirely for
+    `(digest, pubkey, sig)` triples already verified — by default the shared
+    :func:`repro.bitcoin.sigcache.default_cache`, pass ``None`` to disable.
     """
 
     def checker(sig_with_type: bytes, pubkey_bytes: bytes) -> bool:
@@ -105,8 +123,26 @@ def make_sig_checker(tx: Transaction, input_index: int, script_code):
             pubkey = Point.decode(pubkey_bytes)
         except ValueError:
             return False
-        digest = signature_hash(tx, input_index, script_code, hash_type)
-        return ecdsa_verify(pubkey, digest, signature)
+        try:
+            if sighash_cache is not None:
+                digest = sighash_cache.digest(input_index, script_code, hash_type)
+            else:
+                digest = signature_hash(tx, input_index, script_code, hash_type)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from exc
+        cache = (
+            sigcache.default_cache()
+            if sig_cache is _DEFAULT_SIG_CACHE
+            else sig_cache
+        )
+        if cache is not None:
+            cached = cache.get(digest, pubkey_bytes, sig_bytes)
+            if cached is not None:
+                return cached
+        verdict = ecdsa_verify(pubkey, digest, signature)
+        if cache is not None:
+            cache.put(digest, pubkey_bytes, sig_bytes, verdict)
+        return verdict
 
     return checker
 
@@ -125,16 +161,21 @@ def check_tx_inputs(
     """
     if tx.is_coinbase:
         raise ValidationError("coinbase cannot be validated as a spend")
+    # Snapshot the obs flag once: every clock read below is guarded by this
+    # same snapshot, so the deltas stay consistent even if obs.ENABLED flips
+    # mid-validation (a checker callback may enable it, for instance).
     enabled = obs.ENABLED
     start = obs.clock() if enabled else 0.0
     check_transaction(tx)
+    structure_done = obs.clock() if enabled else 0.0
     if enabled:
-        structure_done = obs.clock()
         obs.observe(
             "validation.rule_seconds", structure_done - start, rule="structure"
         )
 
+    sighash_cache = SighashCache(tx) if verify_scripts else None
     script_time = 0.0
+    script_start = 0.0
     value_in = 0
     for index, txin in enumerate(tx.vin):
         entry = utxos.get(txin.prevout)
@@ -145,7 +186,9 @@ def check_tx_inputs(
         value_in += entry.output.value
         if verify_scripts:
             script_code = entry.output.script_pubkey
-            checker = make_sig_checker(tx, index, script_code)
+            checker = make_sig_checker(
+                tx, index, script_code, sighash_cache=sighash_cache
+            )
             if enabled:
                 script_start = obs.clock()
             authorized = execute_script(txin.script_sig, script_code, checker)
@@ -158,11 +201,116 @@ def check_tx_inputs(
     if value_out > value_in:
         raise ValidationError("outputs exceed inputs")
     if enabled:
+        end = obs.clock()
         obs.inc("validation.tx_total")
         obs.observe("validation.rule_seconds", script_time, rule="scripts")
         obs.observe(
             "validation.rule_seconds",
-            obs.clock() - structure_done - script_time,
+            end - structure_done - script_time,
             rule="inputs",
         )
     return TxValidity(fee=value_in - value_out)
+
+
+# ----------------------------------------------------------------------
+# Parallel script verification (block connect)
+# ----------------------------------------------------------------------
+
+# One unit of script work: (spending tx, input index, scriptPubKey spent).
+ScriptJob = tuple[Transaction, int, Script]
+
+
+def _verify_job_group(
+    tx: Transaction,
+    items: list[tuple[int, Script]],
+    sig_cache=_DEFAULT_SIG_CACHE,
+) -> tuple[bool, str | None]:
+    """Verify one transaction's script jobs sharing a single SighashCache."""
+    cache = SighashCache(tx)
+    for index, script_code in items:
+        checker = make_sig_checker(
+            tx, index, script_code, sighash_cache=cache, sig_cache=sig_cache
+        )
+        try:
+            ok = execute_script(tx.vin[index].script_sig, script_code, checker)
+        except ValidationError as exc:
+            return False, str(exc)
+        if not ok:
+            return False, f"script validation failed on input {index}"
+    return True, None
+
+
+def _pool_worker(payload: tuple[bytes, list[tuple[int, bytes]]]):
+    """Process-pool entry point: verify one transaction's inputs.
+
+    Ships bytes, not objects, so the payload pickles cheaply; the worker
+    reparses and verifies with its own per-transaction SighashCache.  (With
+    the default fork start method, workers also inherit a copy of whatever
+    the parent's shared sigcache held when the pool started.)
+    """
+    tx_bytes, jobs = payload
+    tx = Transaction.parse(tx_bytes)
+    items = [(index, Script.parse(script_bytes)) for index, script_bytes in jobs]
+    return _verify_job_group(tx, items)
+
+
+class ParallelScriptVerifier:
+    """Fan block-connect script checks across a worker pool.
+
+    ``workers=1`` (the default) verifies serially in-process — no pool, and
+    full benefit from the shared signature cache.  With ``workers > 1`` a
+    persistent ``ProcessPoolExecutor`` verifies per-transaction batches;
+    results are consumed in submission order, so the *first* failure
+    reported is deterministic (earliest transaction, then earliest input)
+    regardless of worker scheduling.
+    """
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, int(workers))
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+
+    @staticmethod
+    def _grouped(jobs: list[ScriptJob]) -> list[tuple[Transaction, list[tuple[int, Script]]]]:
+        groups: list[tuple[Transaction, list[tuple[int, Script]]]] = []
+        for tx, index, script_code in jobs:
+            if groups and groups[-1][0] is tx:
+                groups[-1][1].append((index, script_code))
+            else:
+                groups.append((tx, [(index, script_code)]))
+        return groups
+
+    def verify_all(self, jobs: list[ScriptJob]) -> None:
+        """Verify every job; raise :class:`ValidationError` on first failure."""
+        if not jobs:
+            return
+        groups = self._grouped(jobs)
+        if self.workers == 1:
+            for tx, items in groups:
+                ok, message = _verify_job_group(tx, items)
+                if not ok:
+                    raise ValidationError(message)
+            return
+        payloads = [
+            (
+                tx.serialize(),
+                [(index, code.serialize()) for index, code in items],
+            )
+            for tx, items in groups
+        ]
+        executor = self._ensure_executor()
+        for ok, message in executor.map(_pool_worker, payloads):
+            if not ok:
+                raise ValidationError(message)
+
+    def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool restarts on demand)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None

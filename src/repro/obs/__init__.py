@@ -131,6 +131,17 @@ CATALOGUE: tuple[tuple[str, str], ...] = (
     ("peer.bans_total", "c"),
     ("net.seen_evicted_total", "c"),
     ("mempool.orphans_evicted_total", "c"),
+    # Verification fast path: EC multiplication, sighash midstates, sigcache.
+    ("ecmult.mults_total", "c"),
+    ("ecmult.dual_total", "c"),
+    ("ecmult.table_builds_total", "c"),
+    ("ecmult.point_table_builds_total", "c"),
+    ("sighash.cache_hits_total", "c"),
+    ("sighash.cache_misses_total", "c"),
+    ("sigcache.hits_total", "c"),
+    ("sigcache.misses_total", "c"),
+    ("sigcache.evictions_total", "c"),
+    ("sigcache.size", "g"),
 )
 
 

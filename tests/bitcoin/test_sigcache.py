@@ -1,0 +1,268 @@
+"""Tests for the signature cache and the cached/parallel verification paths.
+
+The load-bearing property: caching and parallelism are *transparent* —
+accept/reject verdicts are identical with the sigcache on, off, undersized
+(evicting constantly), and with script checks fanned across worker
+processes.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.bitcoin import sigcache
+from repro.bitcoin.regtest import RegtestNetwork
+from repro.bitcoin.sigcache import SignatureCache
+from repro.bitcoin.standard import p2pkh_script
+from repro.bitcoin.transaction import Script, Transaction, TxOut
+from repro.bitcoin.validation import (
+    ParallelScriptVerifier,
+    ValidationError,
+    check_tx_inputs,
+    make_sig_checker,
+)
+from repro.bitcoin.wallet import Wallet
+from repro.crypto.ecdsa import Signature, verify as ecdsa_verify
+from repro.crypto.keys import PrivateKey
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    """Isolate each test from the process-wide shared cache."""
+    old = sigcache.set_default_cache(SignatureCache())
+    yield
+    sigcache.set_default_cache(old)
+
+
+# ----------------------------------------------------------------------
+# LRU mechanics
+# ----------------------------------------------------------------------
+
+
+def test_lru_eviction_order():
+    cache = SignatureCache(max_entries=2)
+    cache.put(b"d1", b"p", b"s", True)
+    cache.put(b"d2", b"p", b"s", True)
+    # Touch d1 so d2 becomes least recently used.
+    assert cache.get(b"d1", b"p", b"s") is True
+    cache.put(b"d3", b"p", b"s", False)
+    assert cache.get(b"d2", b"p", b"s") is None  # evicted
+    assert cache.get(b"d1", b"p", b"s") is True
+    assert cache.get(b"d3", b"p", b"s") is False
+    assert len(cache) == 2
+
+
+def test_put_existing_key_updates_without_eviction():
+    cache = SignatureCache(max_entries=2)
+    cache.put(b"d1", b"p", b"s", True)
+    cache.put(b"d2", b"p", b"s", True)
+    cache.put(b"d1", b"p", b"s", True)  # refresh, no overflow
+    assert len(cache) == 2
+    assert cache.get(b"d2", b"p", b"s") is True
+
+
+def test_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        SignatureCache(max_entries=0)
+
+
+def test_clear():
+    cache = SignatureCache()
+    cache.put(b"d", b"p", b"s", True)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(b"d", b"p", b"s") is None
+
+
+def test_default_cache_swap():
+    mine = SignatureCache(max_entries=4)
+    old = sigcache.set_default_cache(mine)
+    try:
+        assert sigcache.default_cache() is mine
+        assert sigcache.set_default_cache(None) is mine
+        assert sigcache.default_cache() is None
+    finally:
+        sigcache.set_default_cache(old)
+
+
+# ----------------------------------------------------------------------
+# Eviction never changes verdicts
+# ----------------------------------------------------------------------
+
+
+def test_eviction_never_changes_verdicts():
+    """Random triples through a 4-entry cache: the cache's answer always
+    equals direct ECDSA verification, no matter what was evicted between
+    asks — including cached ``False`` verdicts."""
+    rng = random.Random(1234)
+    key = PrivateKey.from_seed(b"evict")
+    triples = []
+    for i in range(12):
+        digest = bytes([i]) * 32
+        sig = key.sign_digest(digest).encode()
+        if i % 3 == 0:  # corrupt every third signature
+            sig = bytes([sig[0] ^ 0x01]) + sig[1:]
+        triples.append((digest, key.public.encoded, sig))
+
+    expected = {
+        t: ecdsa_verify(key.public.point, t[0], Signature.decode(t[2]))
+        for t in triples
+    }
+
+    cache = SignatureCache(max_entries=4)
+    for _ in range(200):
+        digest, pub, sig = rng.choice(triples)
+        verdict = cache.get(digest, pub, sig)
+        if verdict is None:
+            verdict = ecdsa_verify(key.public.point, digest, Signature.decode(sig))
+            cache.put(digest, pub, sig, verdict)
+        assert verdict == expected[(digest, pub, sig)]
+        assert len(cache) <= 4
+
+
+def test_malleated_signature_misses_cache():
+    """A different signature encoding is different bytes: it must miss the
+    cache and be verified on its own merits, never inheriting a verdict."""
+    key = PrivateKey.from_seed(b"malleate")
+    digest = b"\x42" * 32
+    sig = key.sign_digest(digest).encode()
+    cache = SignatureCache()
+    cache.put(digest, key.public.encoded, sig, True)
+    malleated = sig[:-1] + bytes([sig[-1] ^ 0xFF])
+    assert cache.get(digest, key.public.encoded, malleated) is None
+
+
+# ----------------------------------------------------------------------
+# Checker integration
+# ----------------------------------------------------------------------
+
+
+def _funded_net():
+    net = RegtestNetwork()
+    alice = Wallet.from_seed(b"sc-alice")
+    bob = Wallet.from_seed(b"sc-bob")
+    net.fund_wallet(alice, blocks=6)
+    return net, alice, bob
+
+
+def test_checker_consults_and_fills_cache():
+    net, alice, bob = _funded_net()
+    tx = alice.create_transaction(
+        net.chain, [TxOut(1000, p2pkh_script(bob.key_hash))], fee=2000
+    )
+    cache = SignatureCache()
+    sigcache.set_default_cache(cache)
+    check_tx_inputs(tx, net.chain.utxos, net.chain.height + 1)
+    assert len(cache) == len(tx.vin)
+    # Re-validation is answered from the cache: swap ecdsa out from under it.
+    hits = {"n": 0}
+    original_get = cache.get
+
+    def counting_get(digest, pub, sig):
+        verdict = original_get(digest, pub, sig)
+        if verdict is not None:
+            hits["n"] += 1
+        return verdict
+
+    cache.get = counting_get
+    check_tx_inputs(tx, net.chain.utxos, net.chain.height + 1)
+    assert hits["n"] == len(tx.vin)
+
+
+def test_mempool_acceptance_warms_block_connect():
+    net, alice, bob = _funded_net()
+    cache = SignatureCache()
+    sigcache.set_default_cache(cache)
+    tx = alice.create_transaction(
+        net.chain, [TxOut(1000, p2pkh_script(bob.key_hash))], fee=2000
+    )
+    net.send(tx)
+    warmed = len(cache)
+    assert warmed == len(tx.vin)
+    misses = {"n": 0}
+    original_get = cache.get
+
+    def counting_get(digest, pub, sig):
+        verdict = original_get(digest, pub, sig)
+        if verdict is None:
+            misses["n"] += 1
+        return verdict
+
+    cache.get = counting_get
+    net.generate(1, alice.key_hash)  # block connect re-verifies tx's scripts
+    assert misses["n"] == 0
+    assert net.chain.get_transaction(tx.txid) is not None
+
+
+def test_checker_surfaces_out_of_range_as_validation_error():
+    net, alice, bob = _funded_net()
+    tx = alice.create_transaction(
+        net.chain, [TxOut(1000, p2pkh_script(bob.key_hash))], fee=2000
+    )
+    checker = make_sig_checker(tx, len(tx.vin) + 3, Script())
+    key = PrivateKey.from_seed(b"any")
+    sig = key.sign_digest(b"\x01" * 32).encode() + b"\x01"
+    with pytest.raises(ValidationError, match="out of range"):
+        checker(sig, key.public.encoded)
+
+
+# ----------------------------------------------------------------------
+# Differential: cache/parallelism on and off give identical verdicts
+# ----------------------------------------------------------------------
+
+
+def _run_scenario(verifier=None, cache=None):
+    """A mixed accept/reject scenario; returns every observable verdict."""
+    sigcache.set_default_cache(cache)
+    net = RegtestNetwork()
+    if verifier is not None:
+        net.chain.script_verifier = verifier
+    alice = Wallet.from_seed(b"diff-alice")
+    bob = Wallet.from_seed(b"diff-bob")
+    net.fund_wallet(alice, blocks=6)
+    verdicts = []
+    for i in range(4):
+        tx = alice.create_transaction(
+            net.chain,
+            [TxOut(1500 + i, p2pkh_script(bob.key_hash))],
+            fee=2000,
+            exclude=set(net.mempool._spent),
+        )
+        net.send(tx)
+        verdicts.append(("accept", tx.txid.hex()))
+    # A corrupted-signature spend must be rejected identically.
+    bad_src = alice.create_transaction(
+        net.chain,
+        [TxOut(3000, p2pkh_script(bob.key_hash))],
+        fee=2000,
+        exclude=set(net.mempool._spent),
+    )
+    sig_el = bad_src.vin[0].script_sig.elements[0]
+    bad_sig = bytes([sig_el[0] ^ 0x01]) + sig_el[1:]
+    bad_tx = Transaction(
+        [replace(bad_src.vin[0], script_sig=Script([bad_sig, *bad_src.vin[0].script_sig.elements[1:]]))],
+        bad_src.vout,
+        version=bad_src.version,
+        locktime=bad_src.locktime,
+    )
+    try:
+        net.send(bad_tx)
+        verdicts.append(("accept-bad", bad_tx.txid.hex()))
+    except Exception as exc:
+        verdicts.append(("reject", str(exc)))
+    blocks = net.generate(1, alice.key_hash)
+    verdicts.append(("tip", net.chain.tip.block.hash.hex(), len(blocks[0].txs)))
+    if verifier is not None:
+        verifier.close()
+    return verdicts
+
+
+def test_differential_verdicts_cache_and_parallelism():
+    baseline = _run_scenario(cache=None)  # caches fully disabled
+    cached = _run_scenario(cache=SignatureCache())
+    evicting = _run_scenario(cache=SignatureCache(max_entries=1))
+    parallel = _run_scenario(
+        verifier=ParallelScriptVerifier(workers=2), cache=SignatureCache()
+    )
+    assert baseline == cached == evicting == parallel

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bitcoin.script import Script
-from repro.bitcoin.sighash import SigHashType, signature_hash
+from repro.bitcoin.sighash import SighashCache, SigHashType, signature_hash
 from repro.bitcoin.standard import p2pkh_script
 from repro.bitcoin.transaction import OutPoint, Transaction, TxIn, TxOut
 
@@ -91,8 +91,73 @@ def test_hash_type_commits():
 
 
 def test_input_index_out_of_range():
-    with pytest.raises(IndexError):
+    with pytest.raises(ValueError, match="out of range"):
         signature_hash(make_tx(1, 1), 5, CODE, SigHashType.ALL)
+    with pytest.raises(ValueError, match="out of range"):
+        signature_hash(make_tx(1, 1), -1, CODE, SigHashType.ALL)
+
+
+ALL_HASH_TYPES = [
+    int(base) | acp
+    for base in (SigHashType.ALL, SigHashType.NONE, SigHashType.SINGLE)
+    for acp in (0, int(SigHashType.ANYONECANPAY))
+]
+
+
+@pytest.mark.parametrize("hash_type", ALL_HASH_TYPES)
+def test_cache_matches_reference_all_types(hash_type):
+    tx = make_tx(3, 2)
+    cache = SighashCache(tx)
+    for index in range(len(tx.vin)):
+        ref = signature_hash(tx, index, CODE, hash_type)
+        assert cache.digest(index, CODE, hash_type) == ref
+        # Memoized second call returns the same bytes.
+        assert cache.digest(index, CODE, hash_type) == ref
+
+
+def test_cache_single_bug_digest():
+    tx = make_tx(3, 1)
+    cache = SighashCache(tx)
+    assert cache.digest(2, CODE, SigHashType.SINGLE) == (1).to_bytes(32, "little")
+    assert cache.digest(2, CODE, SigHashType.SINGLE) == signature_hash(
+        tx, 2, CODE, SigHashType.SINGLE
+    )
+    # The bug digest only applies when the base type is SINGLE.
+    assert cache.digest(2, CODE, SigHashType.ALL) == signature_hash(
+        tx, 2, CODE, SigHashType.ALL
+    )
+
+
+@pytest.mark.parametrize("hash_type", ALL_HASH_TYPES)
+def test_cache_distinct_script_codes(hash_type):
+    tx = make_tx(2, 2)
+    cache = SighashCache(tx)
+    other = p2pkh_script(b"\x08" * 20)
+    assert cache.digest(0, CODE, hash_type) == signature_hash(tx, 0, CODE, hash_type)
+    assert cache.digest(0, other, hash_type) == signature_hash(tx, 0, other, hash_type)
+
+
+def test_cache_nonstandard_version_locktime_sequence():
+    vin = [
+        TxIn(OutPoint(b"\x01" * 32, 0), sequence=0),
+        TxIn(OutPoint(b"\x02" * 32, 1), sequence=12345),
+    ]
+    vout = [TxOut(500, p2pkh_script(b"\x03" * 20))]
+    tx = Transaction(vin, vout, version=2, locktime=700001)
+    cache = SighashCache(tx)
+    for hash_type in ALL_HASH_TYPES:
+        for index in range(2):
+            assert cache.digest(index, CODE, hash_type) == signature_hash(
+                tx, index, CODE, hash_type
+            )
+
+
+def test_cache_input_index_out_of_range():
+    cache = SighashCache(make_tx(1, 1))
+    with pytest.raises(ValueError, match="out of range"):
+        cache.digest(5, CODE, SigHashType.ALL)
+    with pytest.raises(ValueError, match="out of range"):
+        cache.digest(-1, CODE, SigHashType.ALL)
 
 
 def test_open_transaction_pattern():

@@ -1,0 +1,146 @@
+"""Property tests for the fast EC multiplication paths.
+
+The fast paths (fixed-window generator tables, per-point w-NAF, GLV split,
+Strauss/Shamir dual multiplication) must agree with the naive
+double-and-add ladder on every scalar, including the awkward ones: 0, 1,
+n−1, and values at or beyond the curve order.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.secp256k1 import (
+    CURVE_ORDER,
+    GENERATOR,
+    INFINITY,
+    Point,
+    _glv_split,
+    _wnaf,
+    dual_scalar_mult,
+    point_add,
+    scalar_mult,
+    scalar_mult_naive,
+)
+
+_EDGE_SCALARS = [
+    0,
+    1,
+    2,
+    3,
+    CURVE_ORDER - 1,
+    CURVE_ORDER,
+    CURVE_ORDER + 1,
+    2 * CURVE_ORDER - 1,
+    2**255,
+    (1 << 256) - 1,
+]
+
+
+def _seeded_scalars(seed: int, count: int) -> list[int]:
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        bits = rng.choice([1, 8, 64, 128, 200, 255, 256])
+        out.append(rng.getrandbits(bits))
+    return out
+
+
+SCALARS = _EDGE_SCALARS + _seeded_scalars(0xEC0FFEE, 200)
+
+# A few fixed non-generator base points for the arbitrary-point path.
+BASE_POINTS = [scalar_mult_naive(k) for k in (7, 0xDEADBEEF, CURVE_ORDER - 2)]
+
+
+@pytest.mark.parametrize("k", SCALARS)
+def test_generator_mult_matches_naive(k):
+    assert scalar_mult(k) == scalar_mult_naive(k)
+
+
+@pytest.mark.parametrize("k", SCALARS[:60])
+@pytest.mark.parametrize("base", BASE_POINTS)
+def test_arbitrary_point_mult_matches_naive(k, base):
+    assert scalar_mult(k, base) == scalar_mult_naive(k, base)
+
+
+@pytest.mark.parametrize("k", SCALARS)
+def test_wnaf_recoding_reconstructs_scalar(k):
+    for width in (4, 5, 8):
+        digits = _wnaf(k, width)
+        value = 0
+        for i, d in enumerate(digits):
+            assert d == 0 or (d % 2 == 1 and abs(d) < (1 << (width - 1)))
+            value += d << i
+        assert value == k
+        # Non-adjacency: no two consecutive nonzero digits.
+        for a, b in zip(digits, digits[1:]):
+            assert a == 0 or b == 0
+
+
+@pytest.mark.parametrize("k", [k % CURVE_ORDER for k in SCALARS])
+def test_glv_split_congruence(k):
+    lam = 0x5363AD4CC05C30E0A5261C028812645A122E22EA20816678DF02967C1B23BD72
+    k1, k2 = _glv_split(k)
+    assert (k1 + k2 * lam - k) % CURVE_ORDER == 0
+    assert abs(k1) < 1 << 129
+    assert abs(k2) < 1 << 129
+
+
+def test_dual_scalar_mult_matches_naive_pairs():
+    rng = random.Random(0x5A5A)
+    q = scalar_mult_naive(rng.getrandbits(255) | 1)
+    for _ in range(100):
+        u1 = rng.getrandbits(rng.choice([1, 64, 255, 256]))
+        u2 = rng.getrandbits(rng.choice([1, 64, 255, 256]))
+        expected = point_add(scalar_mult_naive(u1), scalar_mult_naive(u2, q))
+        assert dual_scalar_mult(u1, u2, q) == expected
+
+
+@pytest.mark.parametrize(
+    "u1,u2",
+    [
+        (0, 0),
+        (0, 1),
+        (1, 0),
+        (CURVE_ORDER, CURVE_ORDER),
+        (CURVE_ORDER - 1, CURVE_ORDER - 1),
+        (CURVE_ORDER + 5, 3),
+    ],
+)
+def test_dual_scalar_mult_edge_scalars(u1, u2):
+    q = scalar_mult_naive(12345)
+    expected = point_add(scalar_mult_naive(u1), scalar_mult_naive(u2, q))
+    assert dual_scalar_mult(u1, u2, q) == expected
+
+
+def test_dual_scalar_mult_infinity_q():
+    assert dual_scalar_mult(5, 7, INFINITY) == scalar_mult_naive(5)
+    assert dual_scalar_mult(0, 7, INFINITY) == INFINITY
+
+
+def test_dual_scalar_mult_cancellation_to_infinity():
+    # u1·G + u2·Q with Q = -G and u1 == u2 cancels to the identity.
+    g = GENERATOR
+    assert g.y is not None
+    neg_g = Point(g.x, (-g.y) % (2**256 - 2**32 - 977))
+    assert dual_scalar_mult(9, 9, neg_g).is_infinity
+
+
+def test_point_table_cache_bounded():
+    from repro.crypto import secp256k1 as ec
+
+    ec._POINT_TABLE_CACHE.clear()
+    rng = random.Random(77)
+    points = [scalar_mult_naive(rng.getrandbits(200) | 1) for _ in range(12)]
+    saved_max = ec._POINT_TABLE_CACHE_MAX
+    ec._POINT_TABLE_CACHE_MAX = 8
+    try:
+        for p in points:
+            assert scalar_mult(3, p) == scalar_mult_naive(3, p)
+        assert len(ec._POINT_TABLE_CACHE) <= 8
+        # Cached and uncached paths agree.
+        for p in points:
+            assert scalar_mult(99, p) == scalar_mult_naive(99, p)
+    finally:
+        ec._POINT_TABLE_CACHE_MAX = saved_max
+        ec._POINT_TABLE_CACHE.clear()
