@@ -3,17 +3,20 @@
 # default) and on (REPRO_OBS=1), proving instrumentation never changes
 # behavior. Pass --bench to also run the benchmark telemetry smoke pass
 # (scripts/bench.sh), and --chaos to run the seeded fault-injection smoke
-# (scripts/chaos_smoke.py). Run from anywhere; paths resolve relative to
-# the repo root.
+# (scripts/chaos_smoke.py), and --recovery to run the seeded kill-mid-write
+# durability smoke (scripts/recovery_smoke.py). Run from anywhere; paths
+# resolve relative to the repo root.
 set -euo pipefail
 
 run_bench=0
 run_chaos=0
+run_recovery=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
-    *) echo "usage: $0 [--bench] [--chaos]" >&2; exit 2 ;;
+    --recovery) run_recovery=1 ;;
+    *) echo "usage: $0 [--bench] [--chaos] [--recovery]" >&2; exit 2 ;;
   esac
 done
 
@@ -31,6 +34,11 @@ echo "ok: suite passes with observability off and on"
 if [ "$run_chaos" = 1 ]; then
   echo "== chaos: seeded fault-injection smoke =="
   env -u REPRO_OBS python scripts/chaos_smoke.py
+fi
+
+if [ "$run_recovery" = 1 ]; then
+  echo "== recovery: seeded kill-mid-write smoke =="
+  env -u REPRO_OBS python scripts/recovery_smoke.py
 fi
 
 if [ "$run_bench" = 1 ]; then

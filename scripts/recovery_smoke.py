@@ -1,0 +1,69 @@
+"""Seeded crash-recovery smoke: kill mid-write, recover byte-identical.
+
+Driven by ``scripts/check.sh --recovery``.  Runs the kill-mid-write
+chaos scenario (:func:`repro.bitcoin.faults.run_kill_mid_write`) in both
+damage modes — a torn tail truncated mid-record and a flipped payload
+byte caught by the CRC — and asserts the victim recovers to the exact
+committed tip and UTXO state (verified against an independent
+full-validation replay), re-downloading at most the one torn-off block.
+A repeat run at the same seed must reproduce the identical outcome.
+
+Exit status 0 means the recovery gate passed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/recovery_smoke.py [seed]
+"""
+
+import sys
+import tempfile
+
+from repro.bitcoin.faults import run_kill_mid_write
+
+MODES = ("truncate", "corrupt")
+
+
+def run_mode(mode: str, seed: int):
+    with tempfile.TemporaryDirectory(prefix=f"recovery-{mode}-") as root:
+        return run_kill_mid_write(root, seed=seed, mode=mode)
+
+
+def main(seed: int = 3) -> int:
+    print(f"recovery smoke: kill-mid-write modes {', '.join(MODES)}"
+          f" (seed {seed})")
+    results = {}
+    for mode in MODES:
+        result = run_mode(mode, seed)
+        results[mode] = result
+        status = "ok" if result.ok else "FAIL"
+        print(f"  {mode:>9}: recovered {result.recovered_height}"
+              f"/{result.pre_crash_height}"
+              f" tip_match={result.tip_match}"
+              f" utxo_match={result.utxo_match}"
+              f" refetched={result.refetched_blocks}"
+              f" converged={result.converged} [{status}]")
+        if not result.ok:
+            print(f"error: mode {mode!r} failed recovery", file=sys.stderr)
+            return 1
+
+    # Determinism: the same (mode, seed) reproduces the identical run.
+    again = run_mode("truncate", seed)
+    reference = results["truncate"]
+    if (again.recovered_height, again.refetched_blocks, again.final_height) != (
+        reference.recovered_height,
+        reference.refetched_blocks,
+        reference.final_height,
+    ):
+        print("error: recovery run is not deterministic for its seed",
+              file=sys.stderr)
+        return 1
+    print(f"  determinism: truncate re-run matches"
+          f" (recovered {reference.recovered_height},"
+          f" refetched {reference.refetched_blocks})")
+    print("ok: recovery smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    raise SystemExit(main(seed))

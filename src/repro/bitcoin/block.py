@@ -12,11 +12,13 @@ from dataclasses import dataclass, replace
 from functools import cached_property
 
 from repro.bitcoin.pow import check_proof_of_work
-from repro.bitcoin.transaction import Transaction
+from repro.bitcoin.transaction import Transaction, read_varint, varint
 from repro.crypto.hashing import sha256d
 from repro.crypto.merkle import merkle_root
 
 MAX_BLOCK_SIZE = 1_000_000
+
+HEADER_SIZE = 80
 
 
 @dataclass(frozen=True)
@@ -38,6 +40,19 @@ class BlockHeader:
             + self.timestamp.to_bytes(4, "little")
             + self.bits.to_bytes(4, "little")
             + self.nonce.to_bytes(4, "little")
+        )
+
+    @staticmethod
+    def parse(data: bytes) -> "BlockHeader":
+        if len(data) < HEADER_SIZE:
+            raise ValueError("truncated block header")
+        return BlockHeader(
+            version=int.from_bytes(data[0:4], "little"),
+            prev_hash=data[4:36],
+            merkle_root=data[36:68],
+            timestamp=int.from_bytes(data[68:72], "little"),
+            bits=int.from_bytes(data[72:76], "little"),
+            nonce=int.from_bytes(data[76:80], "little"),
         )
 
     @cached_property
@@ -73,6 +88,24 @@ class Block:
     @property
     def hash_hex(self) -> str:
         return self.header.hash_hex
+
+    def serialize(self) -> bytes:
+        """Full wire encoding: header, tx count varint, transactions."""
+        out = bytearray(self.header.serialize())
+        out += varint(len(self.txs))
+        for tx in self.txs:
+            out += tx.serialize()
+        return bytes(out)
+
+    @staticmethod
+    def parse(data: bytes) -> "Block":
+        header = BlockHeader.parse(data)
+        count, offset = read_varint(data, HEADER_SIZE)
+        txs = []
+        for _ in range(count):
+            tx, offset = Transaction.parse_from(data, offset)
+            txs.append(tx)
+        return Block(header, txs)
 
     def compute_merkle_root(self) -> bytes:
         return merkle_root([tx.txid for tx in self.txs])

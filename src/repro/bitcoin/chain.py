@@ -126,7 +126,160 @@ class Blockchain:
         self._tx_index: dict[bytes, bytes] = {}
         # outpoint -> txid of the active-chain transaction that spent it.
         self._spenders: dict[OutPoint, bytes] = {}
+        # Optional durable store (repro.store.BlockStore); every connect /
+        # disconnect is appended once attached.  Duck-typed so this module
+        # never has to import repro.store.
+        self.store = None
+        # Called as listener(disconnected, connected) after every
+        # successful reorg, with lists of BlockIndexEntry: the losing
+        # branch tip-first, the winning branch in height order.
+        self._reorg_listeners: list = []
         self._connect(self._index[genesis_hash])
+
+    # ------------------------------------------------------------------
+    # Persistence / notification hooks
+    # ------------------------------------------------------------------
+
+    def attach_store(self, store) -> None:
+        """Start mirroring every connect/disconnect into ``store``.
+
+        The store must already be open; its manifest is bound to this
+        chain's genesis (a store from a different chain raises).
+        """
+        store.set_genesis(self.genesis.hash)
+        self.store = store
+
+    def add_reorg_listener(self, listener) -> None:
+        """Register ``listener(disconnected, connected)`` for successful
+        reorgs (both are lists of :class:`BlockIndexEntry`; the losing
+        branch arrives tip-first, the winning branch in height order)."""
+        self._reorg_listeners.append(listener)
+
+    @classmethod
+    def restore(
+        cls,
+        recovered,
+        params: ChainParams | None = None,
+        script_verifier: ParallelScriptVerifier | None = None,
+    ) -> "Blockchain":
+        """Rebuild a chain from a :class:`repro.store.RecoveredState`.
+
+        Replays the durable transition log without script verification or
+        proof-of-work re-grinding — every record already passed full
+        validation before it was committed.  Records up to the snapshot's
+        offset rebuild the block index only; the snapshot supplies the
+        UTXO set (and the undo log supplies per-block undo data for the
+        blocks beneath it); records past the snapshot replay forward
+        through the normal UTXO apply path.  With no usable snapshot the
+        whole log replays from genesis.
+
+        The returned chain has **no store attached** — appends during
+        replay would duplicate the log.  Call :meth:`attach_store` after.
+        """
+        chain = cls(params, script_verifier)
+        if (
+            recovered.genesis is not None
+            and recovered.genesis != chain.genesis.hash
+        ):
+            raise ValidationError(
+                "store belongs to a different chain (genesis mismatch)"
+            )
+        snapshot = recovered.snapshot
+        boundary = recovered.snapshot_offset if snapshot is not None else 0
+        replayed = 0
+        for record in recovered.records:
+            if snapshot is not None and record.offset < boundary:
+                chain._replay_index_only(record)
+            else:
+                if snapshot is not None:
+                    chain._install_snapshot(snapshot, recovered.undo_by_hash)
+                    snapshot = None  # installed exactly once
+                chain._replay_forward(record)
+                replayed += 1
+        if snapshot is not None:
+            # Every surviving record predates the snapshot (or there were
+            # none): install it now to finish.
+            chain._install_snapshot(snapshot, recovered.undo_by_hash)
+        if obs.ENABLED:
+            obs.inc("store.recovered_blocks_total", replayed)
+        return chain
+
+    def _replay_index_only(self, record) -> None:
+        """Phase-1 replay: maintain the block tree and active list only
+        (the snapshot will supply the UTXO set these records produced)."""
+        if record.kind == 2:  # disconnect
+            popped = self._active.pop()
+            assert popped == record.block_hash, "log/active-chain divergence"
+            return
+        block = record.block
+        entry = self._index.get(record.block_hash)
+        if entry is None:
+            prev = self._index[block.header.prev_hash]
+            entry = BlockIndexEntry(
+                block=block,
+                height=prev.height + 1,
+                chain_work=prev.chain_work + block_work(block.header.bits),
+                prev=block.header.prev_hash,
+            )
+            self._index[record.block_hash] = entry
+        self._active.append(record.block_hash)
+
+    def _install_snapshot(self, snapshot, undo_by_hash: dict) -> None:
+        """Adopt a snapshot's UTXO set and backfill per-block state for
+        the active blocks beneath it (undo from the durable undo log)."""
+        if self.tip.block.hash != snapshot.tip or self.height != snapshot.height:
+            raise ValidationError(
+                "snapshot tip does not match replayed index "
+                f"(height {self.height} vs {snapshot.height})"
+            )
+        self.utxos = snapshot.to_utxo_set()
+        for block_hash in self._active[1:]:
+            undo = undo_by_hash.get(block_hash)
+            if undo is None:
+                raise ValidationError(
+                    "undo record missing for committed block "
+                    f"{block_hash.hex()}"
+                )
+            state = _ConnectedState(undo=undo)
+            block = self._index[block_hash].block
+            for tx in block.txs:
+                self._tx_index[tx.txid] = block_hash
+                state.txids.append(tx.txid)
+                if not tx.is_coinbase:
+                    for txin in tx.vin:
+                        self._spenders[txin.prevout] = tx.txid
+            self._connected[block_hash] = state
+
+    def _replay_forward(self, record) -> None:
+        """Phase-2 replay: re-apply one logged transition to the UTXO set
+        and indexes (undo data is recomputed by the apply itself)."""
+        if record.kind == 2:  # disconnect
+            assert self._active[-1] == record.block_hash, (
+                "log/active-chain divergence"
+            )
+            self._disconnect_tip()
+            return
+        block = record.block
+        entry = self._index.get(record.block_hash)
+        if entry is None:
+            prev = self._index[block.header.prev_hash]
+            entry = BlockIndexEntry(
+                block=block,
+                height=prev.height + 1,
+                chain_work=prev.chain_work + block_work(block.header.bits),
+                prev=block.header.prev_hash,
+            )
+            self._index[record.block_hash] = entry
+        undo = self.utxos.apply_block_txs(list(block.txs), entry.height)
+        state = _ConnectedState(undo=undo)
+        for tx in block.txs:
+            self._tx_index[tx.txid] = record.block_hash
+            state.txids.append(tx.txid)
+            if not tx.is_coinbase:
+                for txin in tx.vin:
+                    self._spenders[txin.prevout] = tx.txid
+        self._connected[record.block_hash] = state
+        self._active.append(record.block_hash)
 
     # ------------------------------------------------------------------
     # Queries
@@ -307,6 +460,11 @@ class Blockchain:
 
         if entry.chain_work > self.tip.chain_work:
             self._reorganize_to(entry)
+            if self.store is not None and self.store.should_snapshot():
+                # Snapshot only at a settled tip, never mid-reorg.
+                self.store.write_snapshot(
+                    self.utxos, self.height, self.tip.block.hash
+                )
         return self.in_active_chain(block_hash)
 
     def _reorganize_to(self, new_tip: BlockIndexEntry) -> None:
@@ -356,6 +514,9 @@ class Blockchain:
             for entry in reversed(disconnected):
                 self._connect(entry)
             raise
+        if disconnected:
+            for listener in self._reorg_listeners:
+                listener(disconnected, connected)
 
     def _connect(self, entry: BlockIndexEntry) -> None:
         """Attach a block to the active tip, updating UTXOs and indexes."""
@@ -417,7 +578,10 @@ class Blockchain:
         self._connected[block.hash] = state
         if height > 0:
             self._active.append(block.hash)
-        # height == 0 is genesis, already in _active at construction.
+            if self.store is not None:
+                self.store.append_connect(block, height, undo)
+        # height == 0 is genesis, already in _active at construction
+        # (and implied by the store manifest, so it is never logged).
 
     def _disconnect_tip(self) -> BlockIndexEntry:
         """Detach the tip block, restoring UTXOs and indexes."""
@@ -425,6 +589,8 @@ class Blockchain:
         entry = self._index[tip_hash]
         state = self._connected.pop(tip_hash)
         self.utxos.undo_block(state.undo)
+        if self.store is not None:
+            self.store.append_disconnect(tip_hash, entry.height)
         for txid in state.txids:
             self._tx_index.pop(txid, None)
         for tx in entry.block.txs:

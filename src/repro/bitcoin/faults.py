@@ -30,7 +30,7 @@ import random
 
 from repro import obs
 from repro.bitcoin.block import Block, build_block
-from repro.bitcoin.chain import block_subsidy
+from repro.bitcoin.chain import Blockchain, ChainParams, block_subsidy
 from repro.bitcoin.network import Node, PoissonMiner, Simulation, build_network
 from repro.bitcoin.pow import block_work, target_to_bits
 from repro.bitcoin.script import Script
@@ -46,10 +46,13 @@ __all__ = [
     "BYZANTINE_BEHAVIORS",
     "ChaosProfile",
     "ChaosResult",
+    "KillMidWriteResult",
     "PROFILES",
     "install_link_policy",
+    "inject_torn_write",
     "converged",
     "run_chaos",
+    "run_kill_mid_write",
 ]
 
 
@@ -474,6 +477,173 @@ PROFILES: dict[str, ChaosProfile] = {
         convergence_budget=8 * 3600.0,
     ),
 }
+
+
+# ----------------------------------------------------------------------
+# Durable-store faults: kill-mid-write (torn/corrupt log tails)
+# ----------------------------------------------------------------------
+
+
+def inject_torn_write(
+    store_dir: str,
+    rng: random.Random,
+    mode: str = "truncate",
+    node: str = "",
+) -> int:
+    """Damage the tail of a (closed) store's block log at a seeded offset.
+
+    Models the two ways a mid-append process death leaves the log:
+
+    * ``truncate`` — the final record is cut short at a random byte (the
+      write never finished reaching the disk);
+    * ``corrupt`` — one random byte inside the final record's payload is
+      flipped (a sector went bad under the write), so its CRC fails.
+
+    Either way the damage is confined to the last record: recovery must
+    truncate it and come back at the previous committed tip.  Returns the
+    number of bytes damaged (0 if the log holds no records yet).
+    """
+    import os
+
+    from repro.store.framing import scan_records
+    from repro.store.store import BLOCK_LOG_MAGIC, BLOCK_LOG_NAME
+
+    path = os.path.join(store_dir, BLOCK_LOG_NAME)
+    scan = scan_records(path, BLOCK_LOG_MAGIC)
+    if not scan.records:
+        return 0
+    size = os.path.getsize(path)
+    last_start = scan.records[-1][0]
+    if mode == "truncate":
+        cut = rng.randrange(last_start + 1, size)
+        with open(path, "r+b") as fh:
+            fh.truncate(cut)
+        damaged = size - cut
+    elif mode == "corrupt":
+        # Skip the 8-byte record header so the flip lands in the payload
+        # and is caught as a CRC mismatch, not a framing tear.
+        position = rng.randrange(last_start + 8, size)
+        with open(path, "r+b") as fh:
+            fh.seek(position)
+            original = fh.read(1)
+            fh.seek(position)
+            fh.write(bytes([original[0] ^ 0xFF]))
+        damaged = 1
+    else:
+        raise ValueError(f"unknown torn-write mode {mode!r}")
+    if obs.ENABLED:
+        obs.inc("fault.torn_writes_total")
+        obs.emit(
+            "fault.torn_write",
+            node=node,
+            file=BLOCK_LOG_NAME,
+            mode=mode,
+            bytes=damaged,
+        )
+    return damaged
+
+
+@dataclass
+class KillMidWriteResult:
+    """Outcome of one seeded kill-mid-write scenario."""
+
+    seed: int
+    mode: str
+    pre_crash_height: int
+    recovered_height: int
+    tip_match: bool  # recovered tip == independently replayed tip
+    utxo_match: bool  # recovered UTXO size + value match that replay
+    refetched_blocks: int  # blocks the catch-up sync must re-download
+    converged: bool
+    final_height: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.tip_match
+            and self.utxo_match
+            and self.converged
+            # Only the torn-off suffix may be re-fetched from peers.
+            and self.refetched_blocks <= 1
+        )
+
+
+def run_kill_mid_write(
+    store_dir: str,
+    seed: int = 0,
+    mode: str = "truncate",
+    target_height: int = 24,
+    snapshot_interval: int = 8,
+) -> KillMidWriteResult:
+    """Kill a store-backed node mid-append and verify durable recovery.
+
+    One miner drives a two-node network (so the log is pure connects —
+    no reorgs) while the victim persists every block to ``store_dir``.
+    At ``target_height`` the victim crashes and the block log's tail is
+    damaged at a seeded offset (:func:`inject_torn_write`).  On restart
+    the victim must recover to the last *committed* block — verified
+    byte-for-byte against an independent full-validation replay of the
+    same prefix — and then rejoin the network fetching only the torn-off
+    suffix from its peer.  Deterministic per (seed, mode).
+    """
+    sim = Simulation(seed=seed)
+    params = ChainParams(
+        max_target=2**252, retarget_window=2**31, require_pow=False
+    )
+    victim = Node(
+        "victim",
+        sim,
+        params,
+        store_dir=store_dir,
+        snapshot_interval=snapshot_interval,
+    )
+    peer = Node("peer", sim, params)
+    victim.connect(peer)
+    victim.auto_sync = True
+    peer.auto_sync = True
+
+    total_rate = block_work(target_to_bits(2**252)) / 600.0
+    miner = PoissonMiner(peer, total_rate, miner_id=1)
+    miner.start()
+    sim.run_while(
+        lambda: victim.chain.height < target_height, limit=1e9
+    )
+
+    pre_height = victim.chain.height
+    committed_blocks = victim.chain.export_active()
+    victim.crash()  # closes the store's file handles
+    inject_torn_write(store_dir, sim.rng, mode=mode, node=victim.name)
+    victim.restart(persist_chain=True, resync=True)
+
+    recovered_height = victim.chain.height
+    recovered_tip = victim.chain.tip.block.hash
+    # Independent oracle: full-validation replay of the committed prefix.
+    oracle = Blockchain(params)
+    for block in committed_blocks[:recovered_height]:
+        oracle.add_block(block)
+    tip_match = oracle.tip.block.hash == recovered_tip
+    utxo_match = (
+        oracle.utxos.serialized_size()
+        == victim.chain.utxos.serialized_size()
+        and oracle.utxos.total_value() == victim.chain.utxos.total_value()
+    )
+
+    # Rejoin: the restart kicked a catch-up sync; only the torn-off
+    # suffix (plus whatever the miner found meanwhile) may be fetched.
+    sim.run_while(
+        lambda: not converged([victim, peer]), limit=sim.now + 48 * 3600.0
+    )
+    return KillMidWriteResult(
+        seed=seed,
+        mode=mode,
+        pre_crash_height=pre_height,
+        recovered_height=recovered_height,
+        tip_match=tip_match,
+        utxo_match=utxo_match,
+        refetched_blocks=pre_height - recovered_height,
+        converged=converged([victim, peer]),
+        final_height=victim.chain.height,
+    )
 
 
 def run_chaos(profile: ChaosProfile, seed: int = 0) -> ChaosResult:

@@ -62,6 +62,7 @@ class Mempool:
         self.require_standard = require_standard
         self._entries: dict[bytes, MempoolEntry] = {}
         self._spent: dict[OutPoint, bytes] = {}  # outpoint -> spending txid
+        chain.add_reorg_listener(self._on_reorg)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -182,6 +183,42 @@ class Mempool:
                 conflicting = self._spent.get(txin.prevout)
                 if conflicting is not None:
                     self.remove(conflicting)
+
+    def _on_reorg(self, disconnected, connected) -> int:
+        """Re-inject the losing branch's transactions after a reorg.
+
+        Without this a reorg silently *loses* transactions: they leave the
+        mempool when their block confirms, and disconnecting that block
+        puts them nowhere.  Each disconnected-block transaction not
+        re-confirmed on the winning branch goes back through normal
+        acceptance (which re-checks inputs against the post-reorg UTXO
+        set — conflicted or no-longer-mature spends simply stay out).
+        Returns the number re-injected.
+        """
+        winning = {
+            tx.txid for entry in connected for tx in entry.block.txs
+        }
+        reinjected = 0
+        # ``disconnected`` arrives tip-first; re-inject oldest-first so
+        # earlier transactions (whose outputs later ones may spend once
+        # re-mined) keep their relative order in fee-rate ties.
+        for entry in reversed(disconnected):
+            for tx in entry.block.txs:
+                if tx.is_coinbase or tx.txid in winning:
+                    continue
+                try:
+                    self.accept(tx)
+                except MempoolError:
+                    continue  # conflicted, immature, or already present
+                reinjected += 1
+        if obs.ENABLED:
+            obs.inc("mempool.reinjected_total", reinjected)
+            obs.emit(
+                "mempool.reinjected",
+                count=reinjected,
+                depth=len(disconnected),
+            )
+        return reinjected
 
     def revalidate(self) -> list[Transaction]:
         """Re-check every entry after a reorg; returns evicted transactions."""

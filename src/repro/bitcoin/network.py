@@ -134,10 +134,17 @@ class Node:
     # (repro.bitcoin.faults.run_chaos) turn it on — with dropped messages
     # an orphan is evidence the parent may never arrive on its own.
     auto_sync: bool = False
+    # Durable persistence (repro.store).  None keeps the node fully
+    # in-memory — the pre-store behavior, and what the seeded perfect-
+    # network experiments pin.  A directory path gives the node a disk:
+    # every connect/disconnect is logged there, and restart recovers from
+    # it instead of replaying the in-memory chain.
+    store_dir: str | None = None
+    snapshot_interval: int = 16  # blocks between UTXO snapshots
     alive: bool = field(default=True, init=False)
 
     def __post_init__(self) -> None:
-        self.chain = Blockchain(self.params)
+        self.chain = self._boot_chain()
         self.mempool = Mempool(self.chain)
         # Orphans: block hash -> Block, insertion-ordered for eviction,
         # plus a parent-hash index for adoption on parent arrival.
@@ -156,6 +163,18 @@ class Node:
         self._misbehavior: dict[str, int] = {}
         self._banned: set[str] = set()
         self._peers_at_crash: list["Node"] = []
+
+    def _boot_chain(self) -> Blockchain:
+        """A fresh in-memory chain, or one recovered from the store
+        directory (first boot and crash recovery are the same path)."""
+        if self.store_dir is None:
+            return Blockchain(self.params)
+        from repro.store import BlockStore, recover_chain
+
+        store = BlockStore(
+            self.store_dir, snapshot_interval=self.snapshot_interval
+        ).open()
+        return recover_chain(store, self.params)
 
     # ------------------------------------------------------------------
     # Topology
@@ -292,8 +311,10 @@ class Node:
     def crash(self) -> None:
         """Fail-stop: drop mempool, orphans and seen-txs, sever all edges.
 
-        The chain object survives in memory as the node's "disk"; whether
-        restart reloads it is :meth:`restart`'s choice.  In-flight
+        With a store directory the node's "disk" is the store (its file
+        handles are closed, like a dying process's); without one the
+        chain object survives in memory standing in for a disk.  Whether
+        restart reloads either is :meth:`restart`'s choice.  In-flight
         deliveries to this node are silently lost (the delivery guard
         checks ``alive``), exactly like frames to a dead host.
         """
@@ -307,6 +328,8 @@ class Node:
         self._orphans.clear()
         self._orphans_by_parent.clear()
         self._seen_txs.clear()
+        if self.chain.store is not None:
+            self.chain.store.close()
         if obs.ENABLED:
             obs.inc("fault.crashes_total")
             obs.emit("fault.crash", node=self.name)
@@ -315,14 +338,24 @@ class Node:
         """Come back up, optionally reloading the persisted chain, then
         reconnect to the pre-crash peers and catch-up sync with each.
 
-        ``persist_chain=True`` replays the exported active chain through
-        full validation (a pruned node re-reading its block files); False
-        models lost storage — the node restarts from genesis and must
-        re-download everything from its peers.
+        With a store directory, ``persist_chain=True`` runs real crash
+        recovery — scan the logs, truncate any torn tail, and rebuild the
+        exact committed state from disk — and ``persist_chain=False``
+        **deletes the store** before booting (lost storage: the node
+        restarts from genesis and must re-download everything).  Without
+        one, True replays the in-memory chain's exported blocks through
+        full validation (a pruned node re-reading its block files) and
+        False just resets to genesis.
         """
         if self.alive:
             return
-        if persist_chain:
+        if self.store_dir is not None:
+            if not persist_chain:
+                from repro.store import BlockStore
+
+                BlockStore(self.store_dir).wipe()
+            self.chain = self._boot_chain()
+        elif persist_chain:
             blocks = self.chain.export_active()
             chain = Blockchain(self.params)
             for block in blocks:

@@ -64,8 +64,12 @@ class RegtestNetwork:
     def fund_wallet(self, wallet: Wallet, blocks: int = 1) -> None:
         """Give ``wallet`` spendable coins: mine to it, then mature them."""
         self.generate(blocks, wallet.key_hash)
-        # Mature the coinbases by mining past the maturity window to a
-        # throwaway key.
+        # Mature the coinbases by mining a full maturity window to a
+        # throwaway key.  The youngest funded coinbase then sits at depth
+        # exactly COINBASE_MATURITY — the boundary case: the wallet's
+        # (consensus-aligned) rule deems it spendable, and a spend mined
+        # in the next block has depth COINBASE_MATURITY + 1 > the window,
+        # so consensus agrees.
         burn = Wallet.from_seed(b"regtest-burn")
         self.generate(COINBASE_MATURITY, burn.key_hash)
 

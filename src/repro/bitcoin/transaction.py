@@ -130,8 +130,14 @@ class Transaction:
 
     @staticmethod
     def parse(data: bytes) -> "Transaction":
-        version = int.from_bytes(data[0:4], "little")
-        n_in, offset = read_varint(data, 4)
+        tx, _ = Transaction.parse_from(data, 0)
+        return tx
+
+    @staticmethod
+    def parse_from(data: bytes, start: int) -> "tuple[Transaction, int]":
+        """Parse one transaction at ``start``; returns (tx, next_offset)."""
+        version = int.from_bytes(data[start : start + 4], "little")
+        n_in, offset = read_varint(data, start + 4)
         vin = []
         for _ in range(n_in):
             txid = data[offset : offset + 32]
@@ -153,7 +159,8 @@ class Transaction:
             offset += script_len
             vout.append(TxOut(value, script))
         locktime = int.from_bytes(data[offset : offset + 4], "little")
-        return Transaction(vin, vout, version=version, locktime=locktime)
+        tx = Transaction(vin, vout, version=version, locktime=locktime)
+        return tx, offset + 4
 
     @cached_property
     def txid(self) -> bytes:

@@ -130,7 +130,15 @@ class UTXOSet:
 
     def _undo_block_inner(self, undo: BlockUndo) -> None:
         for outpoint in reversed(undo.created):
-            self._entries.pop(outpoint, None)
+            # A created output absent from the table means the undo data
+            # does not describe this state (corrupt record, wrong block):
+            # disconnecting anyway would silently corrupt the set.
+            if self._entries.pop(outpoint, None) is None:
+                if obs.ENABLED:
+                    obs.inc("utxo.undo_missing_total")
+                raise KeyError(
+                    f"undo expected created txout {outpoint} in the set"
+                )
         for spent in reversed(undo.spent):
             self._entries[spent.outpoint] = spent.entry
 

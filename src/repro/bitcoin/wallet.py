@@ -104,9 +104,13 @@ class Wallet:
         for outpoint, entry in chain.utxos.items():
             if not self._controls(entry.output.script_pubkey):
                 continue
+            # Same expression as consensus (check_tx_inputs): a coinbase
+            # is offered only once a spend of it at the current height
+            # would validate.  The old `+ 1` variant offered it one block
+            # early — the wallet built spends consensus then rejected.
             if (
                 entry.is_coinbase
-                and chain.height - entry.height + 1 < COINBASE_MATURITY
+                and chain.height - entry.height < COINBASE_MATURITY
             ):
                 continue
             result.append(

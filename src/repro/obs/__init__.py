@@ -142,6 +142,22 @@ CATALOGUE: tuple[tuple[str, str], ...] = (
     ("sigcache.misses_total", "c"),
     ("sigcache.evictions_total", "c"),
     ("sigcache.size", "g"),
+    # Durable block store: append path, snapshots, crash recovery.
+    ("store.blocks_appended_total", "c"),
+    ("store.disconnects_appended_total", "c"),
+    ("store.bytes_written_total", "c"),
+    ("store.snapshots_total", "c"),
+    ("store.snapshot_fallbacks_total", "c"),
+    ("store.recoveries_total", "c"),
+    ("store.recovered_blocks_total", "c"),
+    ("store.truncated_records_total", "c"),
+    ("store.truncated_bytes_total", "c"),
+    ("store.crc_failures_total", "c"),
+    ("store.recover_seconds", "h"),
+    # Consensus/wallet boundary fixes riding with the store.
+    ("utxo.undo_missing_total", "c"),
+    ("mempool.reinjected_total", "c"),
+    ("fault.torn_writes_total", "c"),
 )
 
 

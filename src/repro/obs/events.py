@@ -73,6 +73,14 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "peer.banned": ("node", "peer", "score"),
     "orphan.evicted": ("hash", "parent"),
     "seen.evicted": ("node", "pool", "count"),
+    # Durable block store: snapshots, torn-tail truncation, recovery.
+    "store.snapshot": ("height", "tip", "bytes"),
+    "store.truncated": ("path", "bytes"),
+    "store.recovered": ("height", "tip", "blocks", "from_snapshot"),
+    # Mempool re-injection of losing-branch transactions after a reorg.
+    "mempool.reinjected": ("count", "depth"),
+    # Torn-write fault: the tail of a log damaged at a seeded offset.
+    "fault.torn_write": ("node", "file", "mode", "bytes"),
 }
 
 

@@ -1,0 +1,40 @@
+"""``repro.store`` — durable block persistence with crash-safe recovery.
+
+The disk a paper §3.3 node keeps its committed state on: an append-only
+block log, per-block undo records, periodic atomic UTXO snapshots, and a
+manifest tying them together.  A node killed mid-write recovers to the
+exact committed tip — torn tails are truncated, everything durable is
+replayed — without re-downloading a single committed block from peers.
+
+Modules:
+
+* :mod:`repro.store.framing` — length+CRC record framing, torn-tail scan;
+* :mod:`repro.store.codec` — block/undo/UTXO-entry byte codecs;
+* :mod:`repro.store.snapshot` — atomic UTXO snapshot files;
+* :mod:`repro.store.store` — :class:`BlockStore`, the directory manager;
+* :mod:`repro.store.recovery` — :func:`recover_chain`, store → chain.
+
+See ``docs/persistence.md`` for the file formats and recovery algorithm.
+"""
+
+from repro.store.framing import FramingError, ScanResult
+from repro.store.recovery import recover_chain
+from repro.store.snapshot import SnapshotData, SnapshotError
+from repro.store.store import (
+    BlockStore,
+    LogRecord,
+    RecoveredState,
+    StoreError,
+)
+
+__all__ = [
+    "BlockStore",
+    "FramingError",
+    "LogRecord",
+    "RecoveredState",
+    "ScanResult",
+    "SnapshotData",
+    "SnapshotError",
+    "StoreError",
+    "recover_chain",
+]

@@ -126,3 +126,26 @@ def test_nonstandard_outputs_counted():
     )
     counts = utxos.count_by_type()
     assert ScriptType.NONSTANDARD in counts
+
+
+def test_undo_missing_created_output_raises():
+    """Undo data that doesn't describe the current state must not be
+    applied silently — a created output absent from the table raises."""
+    utxos = UTXOSet()
+    undo = BlockUndo(created=[OutPoint(b"\x09" * 32, 0)])
+    with pytest.raises(KeyError, match="undo expected created txout"):
+        utxos.undo_block(undo)
+
+
+def test_undo_missing_created_output_leaves_no_partial_state():
+    utxos = UTXOSet()
+    present = OutPoint(b"\x0a" * 32, 0)
+    utxos.add(present, entry())
+    undo = BlockUndo(
+        created=[OutPoint(b"\x0b" * 32, 1), present]  # second one missing
+    )
+    with pytest.raises(KeyError):
+        utxos.undo_block(undo)
+    # The present output was popped before the failure surfaced; the
+    # exception is the signal that this set is no longer trustworthy.
+    assert present not in utxos

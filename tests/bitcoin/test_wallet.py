@@ -157,3 +157,65 @@ def test_deterministic_wallet_keys():
     b = Wallet.from_seed(b"same", count=3)
     assert [k.secret for k in a.keys] == [k.secret for k in b.keys]
     assert len({k.secret for k in a.keys}) == 3
+
+
+def test_coinbase_maturity_boundary_matches_consensus():
+    """Wallet selection and consensus validation agree at depths 99/100/101.
+
+    The wallet used ``depth + 1 < COINBASE_MATURITY`` and so offered a
+    coinbase one block before a spend of it at the current height would
+    validate; both now apply the same ``depth < COINBASE_MATURITY`` rule.
+    """
+    from repro.bitcoin.utxo import COINBASE_MATURITY
+    from repro.bitcoin.validation import ValidationError
+
+    net = RegtestNetwork()
+    alice = Wallet.from_seed(b"w-boundary")
+    [block] = net.generate(1, alice.key_hash)  # coinbase at height 1
+    coinbase = block.txs[0]
+    outpoint = coinbase.outpoint(0)
+    burn = Wallet.from_seed(b"w-boundary-burn")
+
+    def wallet_offers() -> bool:
+        return any(
+            s.outpoint == outpoint for s in alice.spendables(net.chain)
+        )
+
+    def consensus_accepts_now() -> bool:
+        """Would a spend mined at the *current* height validate?"""
+        tx = Transaction(
+            vin=[TxIn(outpoint)],
+            vout=[TxOut(coinbase.vout[0].value - 1000, p2pkh_script(b"\x07" * 20))],
+        )
+        tx = alice.sign_all(tx, [coinbase.vout[0].script_pubkey])
+        try:
+            check_tx_inputs(tx, net.chain.utxos, net.chain.height)
+        except ValidationError:
+            return False
+        return True
+
+    net.generate(COINBASE_MATURITY - 2, burn.key_hash)  # depth 98
+    for depth in (99, 100, 101):
+        net.generate(1, burn.key_hash)
+        assert net.chain.height - 1 == depth
+        offered = wallet_offers()
+        assert offered == consensus_accepts_now(), f"divergence at depth {depth}"
+        assert offered == (depth >= COINBASE_MATURITY)
+
+
+def test_boundary_coinbase_spend_confirms():
+    """A spend the wallet builds at depth exactly 100 mines cleanly."""
+    from repro.bitcoin.utxo import COINBASE_MATURITY
+
+    net = RegtestNetwork()
+    alice = Wallet.from_seed(b"w-boundary2")
+    net.generate(1, alice.key_hash)
+    net.generate(COINBASE_MATURITY, Wallet.from_seed(b"w-bb").key_hash)
+    assert alice.balance(net.chain) == 50 * COIN
+    bob = Wallet.from_seed(b"w-boundary2-bob")
+    tx = alice.create_transaction(
+        net.chain, [TxOut(COIN, p2pkh_script(bob.key_hash))], fee=1000
+    )
+    net.send(tx)
+    net.confirm()
+    assert net.confirmations(tx.txid) == 1
