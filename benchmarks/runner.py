@@ -24,6 +24,7 @@ artifact; overhead is identical across runs being compared).  Use
 from __future__ import annotations
 
 import argparse
+import gc
 import importlib
 import json
 import os
@@ -179,6 +180,10 @@ def run_all(
     for index, module_name in enumerate(names, 1):
         key = experiment_key(module_name)
         print(f"[{index}/{len(names)}] {key} ...", flush=True)
+        # Collect the previous experiment's garbage outside the timed
+        # window, so a heap-heavy experiment (A3's 20-node swarm) cannot
+        # tax its alphabetical successors with its collection pauses.
+        gc.collect()
         started = time.perf_counter()
         record = run_experiment(module_name, max_rounds=max_rounds)
         status = "ok" if record["ok"] else "FAILED"

@@ -3,20 +3,24 @@
 # default) and on (REPRO_OBS=1), proving instrumentation never changes
 # behavior. Pass --bench to also run the benchmark telemetry smoke pass
 # (scripts/bench.sh), and --chaos to run the seeded fault-injection smoke
-# (scripts/chaos_smoke.py), and --recovery to run the seeded kill-mid-write
-# durability smoke (scripts/recovery_smoke.py). Run from anywhere; paths
-# resolve relative to the repo root.
+# (scripts/chaos_smoke.py), --recovery to run the seeded kill-mid-write
+# durability smoke (scripts/recovery_smoke.py), and --monitors to run the
+# chaos profiles under strict runtime invariant monitors
+# (scripts/monitor_smoke.py). Run from anywhere; paths resolve relative
+# to the repo root.
 set -euo pipefail
 
 run_bench=0
 run_chaos=0
 run_recovery=0
+run_monitors=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
     --recovery) run_recovery=1 ;;
-    *) echo "usage: $0 [--bench] [--chaos] [--recovery]" >&2; exit 2 ;;
+    --monitors) run_monitors=1 ;;
+    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors]" >&2; exit 2 ;;
   esac
 done
 
@@ -39,6 +43,11 @@ fi
 if [ "$run_recovery" = 1 ]; then
   echo "== recovery: seeded kill-mid-write smoke =="
   env -u REPRO_OBS python scripts/recovery_smoke.py
+fi
+
+if [ "$run_monitors" = 1 ]; then
+  echo "== monitors: chaos profiles under strict invariant monitors =="
+  python scripts/monitor_smoke.py
 fi
 
 if [ "$run_bench" = 1 ]; then

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.obs.monitor import monitors
 from repro.bitcoin.block import Block, build_block
 from repro.bitcoin.pow import (
     BLOCK_INTERVAL_TARGET,
@@ -465,6 +466,11 @@ class Blockchain:
                 self.store.write_snapshot(
                     self.utxos, self.height, self.tip.block.hash
                 )
+        if obs.ENABLED:
+            # Tip-work monotonicity is checked here — at the *end* of
+            # add_block, never per-connect — because mid-reorg the tip
+            # legitimately dips below the old branch's work.
+            monitors().check_tip_work(self)
         return self.in_active_chain(block_hash)
 
     def _reorganize_to(self, new_tip: BlockIndexEntry) -> None:
@@ -536,6 +542,7 @@ class Blockchain:
                 height=entry.height,
                 txs=len(entry.block.txs),
             )
+            monitors().check_supply(self)
         else:
             self._connect_inner(entry)
 
@@ -603,6 +610,7 @@ class Blockchain:
             obs.emit(
                 "block.disconnected", hash=tip_hash, height=entry.height
             )
+            monitors().check_supply(self)
         return entry
 
 

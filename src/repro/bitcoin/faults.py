@@ -49,6 +49,7 @@ __all__ = [
     "KillMidWriteResult",
     "PROFILES",
     "install_link_policy",
+    "inject_supply_inflation",
     "inject_torn_write",
     "converged",
     "run_chaos",
@@ -423,6 +424,9 @@ class ChaosResult:
     utxo_consistent: bool
     byzantine_banned_by: list[str] = field(default_factory=list)
     stop_reason: str = ""
+    # Runtime invariant monitors (repro.obs.monitor), when enabled.
+    monitor_checks: int = 0
+    monitor_violations: int = 0
 
 
 def converged(nodes: list[Node]) -> bool:
@@ -541,6 +545,36 @@ def inject_torn_write(
             bytes=damaged,
         )
     return damaged
+
+
+def inject_supply_inflation(
+    node: Node, amount: int = 50 * 100_000_000, salt: int = 0
+) -> OutPoint:
+    """Corrupt a node's UTXO table by conjuring ``amount`` satoshis from
+    nowhere — the bug class the ``supply`` invariant monitor exists to
+    catch (value that no coinbase ever minted).
+
+    The bogus entry is added directly to the UTXO set, bypassing
+    validation, exactly as a state-corruption bug would.  Returns the
+    fabricated outpoint so a test can clean it up afterwards.
+    """
+    from repro.bitcoin.utxo import UTXOEntry
+
+    outpoint = OutPoint(
+        b"\xfa" * 28 + salt.to_bytes(4, "big"), 0xFFFF_FF00 + (salt & 0xFF)
+    )
+    node.chain.utxos.add(
+        outpoint,
+        UTXOEntry(
+            output=TxOut(amount, p2pkh_script(b"\x99" * 20)),
+            height=node.chain.height,
+            is_coinbase=False,
+        ),
+    )
+    if obs.ENABLED:
+        obs.inc("fault.inflations_total")
+        obs.emit("fault.inflation", node=node.name, amount=amount)
+    return outpoint
 
 
 @dataclass
@@ -713,11 +747,33 @@ def run_chaos(profile: ChaosProfile, seed: int = 0) -> ChaosResult:
             lambda: victim.restart(persist_chain=profile.crash_persist),
         )
 
+    def monitor_boundary() -> None:
+        """Force every per-node invariant check on the live honest nodes
+        (scenario boundaries bypass the monitors' sampling)."""
+        if not obs.ENABLED:
+            return
+        from repro.obs.monitor import monitors
+
+        registry = monitors()
+        if not registry.enabled:
+            return
+        for node in honest:
+            if node.alive:
+                registry.check_node(node, force=True)
+
     sim.run_until(profile.duration)
+    monitor_boundary()
     stop_reason = sim.run_while(
         lambda: not converged(honest),
         limit=profile.duration + profile.convergence_budget,
     )
+    monitor_boundary()
+    monitor_checks = monitor_violations = 0
+    if obs.ENABLED:
+        from repro.obs.monitor import monitors
+
+        monitor_checks = monitors().checks_run
+        monitor_violations = len(monitors().violations)
     is_converged = converged(honest)
     live = [n for n in honest if n.alive]
     tip = live[0].chain.tip
@@ -733,4 +789,6 @@ def run_chaos(profile: ChaosProfile, seed: int = 0) -> ChaosResult:
         utxo_consistent=utxo_sets_match(honest) if is_converged else False,
         byzantine_banned_by=byz.banned_by(honest) if byz is not None else [],
         stop_reason=stop_reason,
+        monitor_checks=monitor_checks,
+        monitor_violations=monitor_violations,
     )

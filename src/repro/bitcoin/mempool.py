@@ -74,6 +74,15 @@ class Mempool:
         entry = self._entries.get(txid)
         return entry.tx if entry else None
 
+    def spent_outpoints(self) -> list[OutPoint]:
+        """Every outpoint some pooled transaction spends.
+
+        Chained unconfirmed spends are unsupported (see :meth:`_accept`),
+        so each of these must still be unspent in ``chain.utxos`` — the
+        disjointness invariant :mod:`repro.obs.monitor` samples.
+        """
+        return list(self._spent)
+
     def transactions(self) -> list[MempoolEntry]:
         """Entries ordered by descending fee rate (miner's preference)."""
         return sorted(

@@ -55,6 +55,9 @@ class Miner:
                 block = self._assemble_inner(mempool, timestamp, extra_nonce)
                 span.set_attr("height", self.chain.tip.height + 1)
                 span.set_attr("txs", len(block.txs))
+                # Correlate the template span with the block's causal
+                # trace (relay.hop events carry the same hash prefix).
+                span.set_attr("hash", block.hash.hex())
             obs.inc("miner.template_txs_total", len(block.txs))
             return block
         return self._assemble_inner(mempool, timestamp, extra_nonce)

@@ -65,6 +65,25 @@ class Simulation:
         # First time each block hash entered the network (simulated
         # seconds); feeds the block-propagation latency histogram.
         self.block_births: dict[bytes, float] = {}
+        # Causal trace ids, minted at a block's or transaction's origin
+        # (miner / wallet submission) and carried by every relay.hop
+        # event — the propagation tree is reconstructable from the event
+        # log alone.  Populated only under obs.ENABLED.
+        self.trace_ids: dict[bytes, str] = {}
+        self._trace_seq = 0
+
+    def mint_trace(self, kind: str, obj_hash: bytes) -> str:
+        """A deterministic trace id for a newly-originated block or tx.
+
+        Call only behind an ``obs.ENABLED`` guard: disabled runs carry
+        no trace state at all.
+        """
+        trace = self.trace_ids.get(obj_hash)
+        if trace is None:
+            self._trace_seq += 1
+            trace = f"{kind}{self._trace_seq}-{obj_hash.hex()[:8]}"
+            self.trace_ids[obj_hash] = trace
+        return trace
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         if delay < 0:
@@ -142,10 +161,22 @@ class Node:
     store_dir: str | None = None
     snapshot_interval: int = 16  # blocks between UTXO snapshots
     alive: bool = field(default=True, init=False)
+    # Per-node telemetry (registry + tracer + event ring), created only on
+    # instrumented runs; None keeps the node on the global registry alone.
+    telemetry: "obs.NodeTelemetry | None" = field(default=None, init=False)
 
     def __post_init__(self) -> None:
-        self.chain = self._boot_chain()
+        if obs.ENABLED:
+            self.telemetry = obs.NodeTelemetry(self.name)
+            with obs.node_scope(self.telemetry):
+                self.chain = self._boot_chain()
+        else:
+            self.chain = self._boot_chain()
         self.mempool = Mempool(self.chain)
+        # Relay-hop distance of each known block / parked orphan from its
+        # origin (obs bookkeeping; written only under obs.ENABLED).
+        self._block_hops: dict[bytes, int] = {}
+        self._orphan_hops: dict[bytes, int] = {}
         # Orphans: block hash -> Block, insertion-ordered for eviction,
         # plus a parent-hash index for adoption on parent arrival.
         self._orphans: OrderedDict[bytes, Block] = OrderedDict()
@@ -331,8 +362,18 @@ class Node:
         if self.chain.store is not None:
             self.chain.store.close()
         if obs.ENABLED:
+            # Abandon the dead process's in-flight spans before emitting:
+            # they must not become parents of post-restart spans.
+            open_spans = 0
+            if self.telemetry is not None:
+                open_spans = self.telemetry.tracer.abandon_open()
             obs.inc("fault.crashes_total")
-            obs.emit("fault.crash", node=self.name)
+            with obs.node_scope(self.telemetry):
+                obs.emit("fault.crash", node=self.name)
+                obs.emit("node.crash", node=self.name, open_spans=open_spans)
+            from repro.obs import flight
+
+            flight.trigger("node.crash", sim_time=self.sim.now)
 
     def restart(self, persist_chain: bool = True, resync: bool = True) -> None:
         """Come back up, optionally reloading the persisted chain, then
@@ -349,6 +390,14 @@ class Node:
         """
         if self.alive:
             return
+        if obs.ENABLED:
+            if self.telemetry is None:
+                # Observability was enabled after this node was built;
+                # give the reborn process its own telemetry.
+                self.telemetry = obs.NodeTelemetry(self.name)
+            else:
+                # Defensive: crash() already abandoned these.
+                self.telemetry.tracer.abandon_open()
         if self.store_dir is not None:
             if not persist_chain:
                 from repro.store import BlockStore
@@ -369,7 +418,10 @@ class Node:
         self.alive = True
         if obs.ENABLED:
             obs.inc("fault.restarts_total")
-            obs.emit("fault.restart", node=self.name, persisted=persist_chain)
+            with obs.node_scope(self.telemetry):
+                obs.emit(
+                    "fault.restart", node=self.name, persisted=persist_chain
+                )
         peers, self._peers_at_crash = self._peers_at_crash, []
         from repro.bitcoin.sync import start_sync
 
@@ -392,22 +444,43 @@ class Node:
             obs.inc("net.seen_evicted_total", evicted)
             obs.emit("seen.evicted", node=self.name, pool=kind, count=evicted)
 
-    def submit_block(self, block: Block, origin: "Node | None" = None) -> None:
+    def submit_block(
+        self, block: Block, origin: "Node | None" = None, hop: int = 0
+    ) -> None:
         """Accept a locally-mined or received block, then relay it.
 
         ``origin`` is the peer the block arrived from (None when locally
         produced); consensus-invalid blocks charge it misbehavior points.
+        ``hop`` is the relay distance from the block's origin (0 at the
+        miner) — threaded so ``relay.hop`` events carry the propagation
+        tree's depth.
         """
         if not self.alive:
             return
+        if obs.ENABLED and self.telemetry is not None:
+            with obs.node_scope(self.telemetry):
+                self._submit_block(block, origin, hop)
+        else:
+            self._submit_block(block, origin, hop)
+
+    def _submit_block(
+        self, block: Block, origin: "Node | None", hop: int
+    ) -> None:
+        if obs.ENABLED:
+            self._record_hop(
+                "block", block.hash, origin, hop,
+                redundant=block.hash in self._seen_blocks,
+            )
         if block.hash in self._seen_blocks:
             return
         self._remember(self._seen_blocks, block.hash, "block")
+        if obs.ENABLED:
+            self._block_hops[block.hash] = hop
         if self.chain.has_block(block.hash):
             # Re-delivered after seen-set eviction: already stored.
             return
         if not self.chain.has_block(block.header.prev_hash):
-            self._park_orphan(block, origin)
+            self._park_orphan(block, origin, hop)
             return
         try:
             self.chain.add_block(block)
@@ -415,6 +488,9 @@ class Node:
             if obs.ENABLED:
                 obs.inc("chain.blocks_rejected_total")
                 obs.emit("block.rejected", hash=block.hash, reason=str(exc))
+                from repro.obs import flight
+
+                flight.trigger("block.rejected", sim_time=self.sim.now)
             self.penalize(
                 origin, POINTS_INVALID_BLOCK, f"invalid block: {exc}"
             )
@@ -427,7 +503,7 @@ class Node:
                 )
         self.mempool.remove_confirmed(list(block.txs))
         self.mempool.revalidate()
-        self._relay_block(block)
+        self._relay_block(block, hop)
         # Adopt any orphans waiting on this block.
         for child_hash in self._orphans_by_parent.pop(block.hash, []):
             child = self._orphans.pop(child_hash, None)
@@ -438,9 +514,44 @@ class Node:
                 obs.emit(
                     "orphan.resolved", hash=child.hash, parent=block.hash
                 )
-            self.submit_block(child)
+            self._submit_block(
+                child, None, self._orphan_hops.pop(child.hash, 0)
+            )
 
-    def _park_orphan(self, block: Block, origin: "Node | None") -> None:
+    def _record_hop(
+        self,
+        kind: str,
+        obj_hash: bytes,
+        origin: "Node | None",
+        hop: int,
+        redundant: bool,
+    ) -> None:
+        """Emit one ``relay.hop`` event (obs-enabled paths only).
+
+        Redundant receives are recorded too — they are part of the
+        propagation story (gossip fan-in) — but flagged by counter so
+        the tree reconstruction can use first-seen arrivals alone.
+        """
+        trace = self.sim.trace_ids.get(obj_hash)
+        if trace is None:
+            return  # originated before obs was enabled, or untraced kind
+        obs.inc("relay.hops_total")
+        if redundant:
+            obs.inc("relay.redundant_total")
+        obs.emit(
+            "relay.hop",
+            **{
+                "trace": trace,
+                "from": origin.name if origin is not None else self.name,
+                "to": self.name,
+                "hop": hop,
+                "sim_time": self.sim.now,
+            },
+        )
+
+    def _park_orphan(
+        self, block: Block, origin: "Node | None", hop: int = 0
+    ) -> None:
         """Hold a parent-less block in the bounded orphan pool and kick a
         catch-up sync with whoever sent it (we are evidently behind)."""
         if block.hash in self._orphans:
@@ -450,6 +561,9 @@ class Node:
             block.header.prev_hash, []
         ).append(block.hash)
         if obs.ENABLED:
+            # Remember the arrival hop so adoption (after the parent
+            # arrives) resumes the propagation tree at the right depth.
+            self._orphan_hops[block.hash] = hop
             obs.inc("mempool.orphans_total")
             obs.emit(
                 "orphan.parked",
@@ -465,6 +579,7 @@ class Node:
                 if not siblings:
                     self._orphans_by_parent.pop(old.header.prev_hash, None)
             if obs.ENABLED:
+                self._orphan_hops.pop(old_hash, None)
                 obs.inc("mempool.orphans_evicted_total")
                 obs.emit(
                     "orphan.evicted",
@@ -476,21 +591,41 @@ class Node:
 
             start_sync(self, origin, reason="orphan")
 
-    def _relay_block(self, block: Block) -> None:
+    def _relay_block(self, block: Block, hop: int = 0) -> None:
         if obs.ENABLED and self.peers:
             obs.inc("net.blocks_relayed_total", len(self.peers))
+        next_hop = hop + 1
         for peer in self.peers:
             self.send_to(
                 peer,
-                lambda p=peer: p.submit_block(block, origin=self),
+                lambda p=peer: p.submit_block(
+                    block, origin=self, hop=next_hop
+                ),
                 msg="block",
             )
 
     def submit_transaction(
-        self, tx: Transaction, origin: "Node | None" = None
+        self, tx: Transaction, origin: "Node | None" = None, hop: int = 0
     ) -> bool:
         if not self.alive:
             return False
+        if obs.ENABLED and self.telemetry is not None:
+            with obs.node_scope(self.telemetry):
+                return self._submit_transaction(tx, origin, hop)
+        return self._submit_transaction(tx, origin, hop)
+
+    def _submit_transaction(
+        self, tx: Transaction, origin: "Node | None", hop: int
+    ) -> bool:
+        if obs.ENABLED:
+            if origin is None:
+                # A locally-submitted transaction (wallet): the trace
+                # starts here.
+                self.sim.mint_trace("tx", tx.txid)
+            self._record_hop(
+                "tx", tx.txid, origin, hop,
+                redundant=tx.txid in self._seen_txs,
+            )
         if tx.txid in self._seen_txs:
             return False
         self._remember(self._seen_txs, tx.txid, "tx")
@@ -512,10 +647,13 @@ class Node:
             return False
         if obs.ENABLED and self.peers:
             obs.inc("net.txs_relayed_total", len(self.peers))
+        next_hop = hop + 1
         for peer in self.peers:
             self.send_to(
                 peer,
-                lambda p=peer: p.submit_transaction(tx, origin=self),
+                lambda p=peer: p.submit_transaction(
+                    tx, origin=self, hop=next_hop
+                ),
                 msg="tx",
             )
         return True
@@ -573,14 +711,25 @@ class PoissonMiner:
             # times track the simulation clock (the retarget rule reads them).
             wall = self.node.chain.genesis.header.timestamp + int(self.node.sim.now)
             timestamp = max(wall, self.node.chain.median_time_past() + 1)
-            block = self._miner.assemble(
-                self.node.mempool, timestamp=timestamp, extra_nonce=self._extra_nonce
-            )
+            if obs.ENABLED and self.node.telemetry is not None:
+                # Attribute the template-build span to the mining node.
+                with obs.node_scope(self.node.telemetry):
+                    block = self._miner.assemble(
+                        self.node.mempool,
+                        timestamp=timestamp,
+                        extra_nonce=self._extra_nonce,
+                    )
+            else:
+                block = self._miner.assemble(
+                    self.node.mempool, timestamp=timestamp, extra_nonce=self._extra_nonce
+                )
             self.blocks_found += 1
             if obs.ENABLED:
                 self.node.sim.block_births.setdefault(
                     block.hash, self.node.sim.now
                 )
+                # The causal trace for this block starts at its miner.
+                self.node.sim.mint_trace("blk", block.hash)
             self.node.submit_block(block)
         self._schedule_next()
 
@@ -649,12 +798,14 @@ def simulate_race(
     if q == 0:
         return 0.0
     wins = 0
+    rand = rng.random  # bound-method hoist: ~2M draws per table row
+    floor = -max_deficit
     for _ in range(trials):
         # Phase 1: attacker mines privately while z honest blocks appear.
         attacker = 0
         honest = 0
         while honest < z:
-            if rng.random() < q:
+            if rand() < q:
                 attacker += 1
             else:
                 honest += 1
@@ -664,8 +815,8 @@ def simulate_race(
             continue
         # Phase 2: gambler's-ruin walk from -deficit toward 0 (a tie).
         position = -deficit
-        while -max_deficit < position < 0:
-            position += 1 if rng.random() < q else -1
+        while floor < position < 0:
+            position += 1 if rand() < q else -1
         if position >= 0:
             wins += 1
     return wins / trials

@@ -257,18 +257,23 @@ class SyncSession:
     def _request_block(self, block_hash: bytes, attempt: int) -> None:
         def make_reply() -> object:
             entry = self.peer.chain.entry(block_hash)
-            return entry.block if entry is not None else None
+            if entry is None:
+                return None
+            # A fetched block continues the peer's propagation tree one
+            # hop deeper, exactly like a gossip relay would have.
+            return (entry.block, self.peer._block_hops.get(block_hash, 0) + 1)
 
-        def on_reply(block: object) -> None:
-            if block is None:
+        def on_reply(reply: object) -> None:
+            if reply is None:
                 # The peer no longer has (or never had) the block — it
                 # reorged away between headers and getdata.  Re-anchor.
                 self._request_headers(attempt=1)
                 return
+            block, hop = reply
             self.blocks_fetched += 1
             if obs.ENABLED:
                 obs.inc("sync.blocks_fetched_total")
-            self.node.submit_block(block, origin=self.peer)
+            self.node.submit_block(block, origin=self.peer, hop=hop)
             if self.done or not self.node.alive:
                 return
             self._next_block()

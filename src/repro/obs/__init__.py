@@ -61,6 +61,7 @@ __all__ = [
     "clock", "set_clock", "reset_clock",
     "inc", "observe", "gauge_set", "gauge_max", "trace_span",
     "snapshot", "render_text", "spans",
+    "NodeTelemetry", "node_scope", "current_node",
     "Registry", "Tracer", "Span", "Counter", "Gauge", "Histogram",
     "Event", "EventLog", "EVENT_KINDS", "EVENT_SCHEMA_VERSION",
     "COUNT_BUCKETS", "DEFAULT_BUCKETS", "CATALOGUE", "series_name",
@@ -158,6 +159,14 @@ CATALOGUE: tuple[tuple[str, str], ...] = (
     ("utxo.undo_missing_total", "c"),
     ("mempool.reinjected_total", "c"),
     ("fault.torn_writes_total", "c"),
+    # Swarm telemetry: causal relay hops, invariant monitors, flight
+    # recorder dumps, supply-inflation fault injection.
+    ("relay.hops_total", "c"),
+    ("relay.redundant_total", "c"),
+    ("monitor.checks_total", "c"),
+    ("monitor.violations_total", "c"),
+    ("flight.dumps_total", "c"),
+    ("fault.inflations_total", "c"),
 )
 
 
@@ -269,12 +278,90 @@ def reset_clock() -> None:
 
 
 # ----------------------------------------------------------------------
+# Per-node telemetry scopes (swarm attribution)
+# ----------------------------------------------------------------------
+
+
+class NodeTelemetry:
+    """One simulated node's private registry, tracer, and event ring.
+
+    While a :func:`node_scope` for this telemetry is active, every
+    recording helper dual-writes: the process-wide aggregate still sees
+    everything (existing dashboards and gates keep working), and the
+    node's own series accumulate the per-node view that
+    :func:`repro.obs.swarm.swarm_snapshot` merges with a ``node`` label.
+    """
+
+    __slots__ = ("name", "registry", "tracer", "events")
+
+    def __init__(
+        self, name: str, event_capacity: int = 4096, max_spans: int = 4096
+    ):
+        self.name = name
+        self.registry = Registry()
+        self.tracer = Tracer(max_spans=max_spans)
+        self.events = EventLog(capacity=event_capacity, clock=_event_clock)
+
+    def snapshot(self) -> dict:
+        """The node's deterministic JSON-able view (same shape as
+        :func:`snapshot`)."""
+        snap = self.registry.snapshot()
+        snap["spans"] = self.tracer.snapshot()
+        snap["spans_dropped"] = self.tracer.dropped
+        snap["events"] = self.events.snapshot()
+        snap["events_dropped"] = self.events.dropped
+        return snap
+
+    def reset(self) -> None:
+        self.registry.clear()
+        self.tracer.clear()
+        self.events.clear()
+
+
+# Innermost-first stack of active NodeTelemetry scopes.  The simulator is
+# single-threaded, so a plain module-level list is race-free.
+_node_stack: list[NodeTelemetry] = []
+
+
+class _NodeScope:
+    """Context manager routing recordings to one node's telemetry."""
+
+    __slots__ = ("telemetry",)
+
+    def __init__(self, telemetry: NodeTelemetry | None):
+        self.telemetry = telemetry
+
+    def __enter__(self) -> NodeTelemetry | None:
+        if self.telemetry is not None:
+            _node_stack.append(self.telemetry)
+        return self.telemetry
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.telemetry is not None:
+            _node_stack.pop()
+
+
+def node_scope(telemetry: NodeTelemetry | None) -> _NodeScope:
+    """Attribute recordings inside the ``with`` to ``telemetry`` (a None
+    telemetry scope is a no-op, so standalone components fall back to the
+    global registry unconditionally)."""
+    return _NodeScope(telemetry)
+
+
+def current_node() -> NodeTelemetry | None:
+    """The innermost active node scope, if any."""
+    return _node_stack[-1] if _node_stack else None
+
+
+# ----------------------------------------------------------------------
 # Recording helpers — call only behind an ``if obs.ENABLED:`` guard.
 # ----------------------------------------------------------------------
 
 
 def inc(name: str, amount: int = 1, **labels: object) -> None:
     _registry.inc(name, amount, **labels)
+    if _node_stack:
+        _node_stack[-1].registry.inc(name, amount, **labels)
 
 
 def observe(
@@ -284,14 +371,20 @@ def observe(
     **labels: object,
 ) -> None:
     _registry.observe(name, value, buckets, **labels)
+    if _node_stack:
+        _node_stack[-1].registry.observe(name, value, buckets, **labels)
 
 
 def gauge_set(name: str, value: float) -> None:
     _registry.gauge_set(name, value)
+    if _node_stack:
+        _node_stack[-1].registry.gauge_set(name, value)
 
 
 def gauge_max(name: str, value: float) -> None:
     _registry.gauge_max(name, value)
+    if _node_stack:
+        _node_stack[-1].registry.gauge_max(name, value)
 
 
 def emit(kind: str, **fields: object) -> None:
@@ -301,9 +394,18 @@ def emit(kind: str, **fields: object) -> None:
             obs.emit("tx.accepted", txid=tx.txid, fee=fee, size=size)
 
     Call only behind an ``if obs.ENABLED:`` guard — the kwargs dict alone
-    would be an allocation on the disabled path.
+    would be an allocation on the disabled path.  Under a node scope the
+    event is stamped with the node's name (unless the caller already set
+    one) and mirrored into the node's private ring.
     """
-    _events.emit(kind, **fields)
+    if _node_stack:
+        telemetry = _node_stack[-1]
+        if "node" not in fields:
+            fields["node"] = telemetry.name
+        # Build/validate once; the node ring mirrors the same object.
+        telemetry.events.append(_events.emit(kind, **fields))
+    else:
+        _events.emit(kind, **fields)
 
 
 def trace_span(name: str, metric: str | None = None, **attrs: object):
@@ -315,8 +417,16 @@ def trace_span(name: str, metric: str | None = None, **attrs: object):
 
     ``metric=`` additionally feeds the duration into that histogram.
     Callers keep the ``ENABLED`` guard at the call site (the kwargs dict
-    alone would be an allocation on the disabled path).
+    alone would be an allocation on the disabled path).  Under a node
+    scope the span lands on the node's own tracer (its ``pid`` track in
+    the swarm Chrome trace); the metric histogram feeds both registries.
     """
+    if _node_stack:
+        telemetry = _node_stack[-1]
+        return _ActiveSpan(
+            telemetry.tracer, _registry, _clock, name, metric, attrs,
+            extra_registry=telemetry.registry,
+        )
     return _ActiveSpan(_tracer, _registry, _clock, name, metric, attrs)
 
 

@@ -28,7 +28,9 @@ from typing import Callable, IO
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
+    "SUPPORTED_EVENT_SCHEMA_VERSIONS",
     "EVENT_KINDS",
+    "EVENT_KINDS_SINCE_V2",
     "Event",
     "EventLog",
     "EventSchemaError",
@@ -36,7 +38,10 @@ __all__ = [
 ]
 
 # Bump when the envelope or a kind's required fields change shape.
-EVENT_SCHEMA_VERSION = 1
+# v2 added the swarm-telemetry kinds (relay.hop, monitor.violation,
+# node.crash); the envelope is unchanged, so v1 dumps still validate.
+EVENT_SCHEMA_VERSION = 2
+SUPPORTED_EVENT_SCHEMA_VERSIONS = (1, 2)
 
 # kind -> required payload field names.  Emitting an unknown kind or
 # omitting a required field raises immediately: a typo at a call site
@@ -81,19 +86,41 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "mempool.reinjected": ("count", "depth"),
     # Torn-write fault: the tail of a log damaged at a seeded offset.
     "fault.torn_write": ("node", "file", "mode", "bytes"),
+    # --- schema v2: swarm telemetry ---
+    # One block/tx delivery hop: the propagation tree is reconstructable
+    # from these alone (first-seen latency, redundant receives).
+    "relay.hop": ("trace", "from", "to", "hop", "sim_time"),
+    # A runtime invariant monitor detected a violated invariant.
+    "monitor.violation": ("monitor", "detail"),
+    # A node crashed with this many spans still open on its tracer.
+    "node.crash": ("node", "open_spans"),
+    # Supply-inflation fault injection (monitor acceptance scenario).
+    "fault.inflation": ("node", "amount"),
 }
+
+# Kinds that did not exist before schema v2: a v1 event claiming one of
+# these is malformed (no v1 writer ever produced them), so a consumer
+# can flag a corrupted or hand-edited dump early.
+EVENT_KINDS_SINCE_V2 = frozenset(
+    {"relay.hop", "monitor.violation", "node.crash", "fault.inflation"}
+)
 
 
 class EventSchemaError(ValueError):
     """An event does not conform to the documented schema."""
 
 
+# Exact types that pass through json.dumps unchanged; the emit hot path
+# checks membership before paying a _jsonable call per payload field.
+_JSON_SAFE = frozenset({str, int, float, bool, type(None)})
+
+
 def _jsonable(value: object) -> object:
     """Coerce payload values to JSON-safe types (bytes become hex)."""
-    if isinstance(value, bytes):
-        return value.hex()
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if isinstance(value, bytes):
+        return value.hex()
     return str(value)
 
 
@@ -135,9 +162,10 @@ def validate_event(obj: dict) -> None:
     for key in ("v", "seq", "ts", "kind", "data"):
         if key not in obj:
             raise EventSchemaError(f"missing envelope field {key!r}")
-    if obj["v"] != EVENT_SCHEMA_VERSION:
+    if obj["v"] not in SUPPORTED_EVENT_SCHEMA_VERSIONS:
         raise EventSchemaError(
-            f"schema version {obj['v']!r} != {EVENT_SCHEMA_VERSION}"
+            f"schema version {obj['v']!r} not in "
+            f"{SUPPORTED_EVENT_SCHEMA_VERSIONS}"
         )
     if not isinstance(obj["seq"], int) or obj["seq"] < 0:
         raise EventSchemaError(f"seq must be a non-negative int, got {obj['seq']!r}")
@@ -147,6 +175,11 @@ def validate_event(obj: dict) -> None:
     required = EVENT_KINDS.get(kind)
     if required is None:
         raise EventSchemaError(f"unknown event kind {kind!r}")
+    if obj["v"] < 2 and kind in EVENT_KINDS_SINCE_V2:
+        raise EventSchemaError(
+            f"kind {kind!r} was introduced in schema v2 "
+            f"but the event claims v{obj['v']}"
+        )
     data = obj["data"]
     if not isinstance(data, dict):
         raise EventSchemaError("data must be an object")
@@ -182,15 +215,39 @@ class EventLog:
         required = EVENT_KINDS.get(kind)
         if required is None:
             raise EventSchemaError(f"unknown event kind {kind!r}")
-        missing = [name for name in required if name not in fields]
-        if missing:
-            raise EventSchemaError(f"{kind}: missing payload fields {missing}")
-        data = {key: _jsonable(value) for key, value in fields.items()}
+        for name in required:  # no list alloc on the happy path
+            if name not in fields:
+                missing = [n for n in required if n not in fields]
+                raise EventSchemaError(
+                    f"{kind}: missing payload fields {missing}"
+                )
+        data = {
+            key: value if type(value) in _JSON_SAFE else _jsonable(value)
+            for key, value in fields.items()
+        }
         event = Event(self._next_seq, self.clock(), kind, data)
         self._next_seq += 1
         if len(self.events) == self.capacity:
             self.dropped += 1  # deque(maxlen) evicts the oldest on append
         self.events.append(event)
+        if self.sink is not None:
+            self.sink.write(event.to_json() + "\n")
+        return event
+
+    def append(self, event: Event) -> Event:
+        """Mirror an already-validated event into this ring.
+
+        The scoped-emit fast path: the global log builds and validates
+        the :class:`Event` once, and the node's private ring shares the
+        same object (same seq, ts, payload) instead of re-validating and
+        re-allocating.  Keeps ``_next_seq`` ahead of the mirrored seq so
+        direct emits into this ring stay monotone.
+        """
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+        if event.seq >= self._next_seq:
+            self._next_seq = event.seq + 1
         if self.sink is not None:
             self.sink.write(event.to_json() + "\n")
         return event

@@ -36,7 +36,9 @@ __all__ = [
     "quantile_from_cumulative",
     "snapshot_quantiles",
     "to_chrome_trace",
+    "swarm_chrome_trace",
     "write_chrome_trace",
+    "write_swarm_chrome_trace",
 ]
 
 # The quantiles attached to snapshots, reports, and expositions.
@@ -124,6 +126,132 @@ def _arg(value: object) -> object:
     return str(value)
 
 
+def _node_track_events(
+    pid: int, name: str, spans: list[dict], events: list[dict]
+) -> list[dict]:
+    """One node's trace events: subsystem ``tid`` tracks under one pid.
+
+    Span names are dotted (``chain.connect_block``); the prefix is the
+    subsystem, and each subsystem gets its own thread track so a node's
+    chain/utxo/miner activity renders as parallel lanes.  Structured
+    events land on a dedicated ``events`` track.
+    """
+    categories = sorted({span["name"].partition(".")[0] for span in spans})
+    tids = {category: index + 1 for index, category in enumerate(categories)}
+    events_tid = len(categories) + 1
+    out: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": name},
+        }
+    ]
+    for category in categories:
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tids[category],
+                "ts": 0,
+                "args": {"name": category},
+            }
+        )
+    if events:
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": events_tid,
+                "ts": 0,
+                "args": {"name": "events"},
+            }
+        )
+    for span in spans:
+        args = {key: _arg(value) for key, value in span["attrs"].items()}
+        args["span_id"] = span["span_id"]
+        if span["parent"] is not None:
+            args["parent"] = span["parent"]
+        out.append(
+            {
+                "ph": "X",
+                "name": span["name"],
+                "cat": span["name"].partition(".")[0],
+                "pid": pid,
+                "tid": tids[span["name"].partition(".")[0]],
+                "ts": span["start"] * 1e6,
+                "dur": span["duration"] * 1e6,
+                "args": args,
+            }
+        )
+    for event in events:
+        out.append(
+            {
+                "ph": "i",
+                "s": "t",  # thread-scope instant: stays on the node's track
+                "name": event["kind"],
+                "cat": "event",
+                "pid": pid,
+                "tid": events_tid,
+                "ts": event["ts"] * 1e6,
+                "args": dict(event["data"]),
+            }
+        )
+    return out
+
+
+def swarm_chrome_trace(
+    swarm_snap: dict,
+    global_snapshot: dict | None = None,
+    exported_unix: float | None = None,
+) -> dict:
+    """Serialize a :func:`repro.obs.swarm.swarm_snapshot` to Chrome trace
+    JSON with one ``pid`` per node and one ``tid`` per subsystem.
+
+    ``global_snapshot`` (an :func:`repro.obs.snapshot` dict), when given,
+    renders as an extra ``pid`` named ``repro`` carrying the process-wide
+    spans and events.  ``exported_unix`` lands in ``metadata`` — it is
+    the only non-deterministic field, so comparisons should drop it.
+    """
+    trace_events: list[dict] = []
+    pid = 1
+    if global_snapshot is not None:
+        trace_events.extend(
+            _node_track_events(
+                pid,
+                "repro",
+                global_snapshot.get("spans", []),
+                global_snapshot.get("events", []),
+            )
+        )
+        pid += 1
+    for name in sorted(swarm_snap.get("nodes", {})):
+        node_snap = swarm_snap["nodes"][name]
+        trace_events.extend(
+            _node_track_events(
+                pid,
+                name,
+                node_snap.get("spans", []),
+                node_snap.get("events", []),
+            )
+        )
+        pid += 1
+    trace_events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    if exported_unix is None:
+        import time
+
+        exported_unix = time.time()
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {"exported_unix": exported_unix},
+    }
+
+
 def write_chrome_trace(path: str, snapshot: dict | None = None) -> int:
     """Dump the (given or live) snapshot's spans as a Chrome trace file.
 
@@ -136,6 +264,19 @@ def write_chrome_trace(path: str, snapshot: dict | None = None) -> int:
     trace = to_chrome_trace(
         snapshot.get("spans", []), snapshot.get("events", [])
     )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+    return len(trace["traceEvents"])
+
+
+def write_swarm_chrome_trace(
+    path: str,
+    swarm_snap: dict,
+    global_snapshot: dict | None = None,
+    exported_unix: float | None = None,
+) -> int:
+    """Dump a swarm snapshot as a per-node-pid Chrome trace file."""
+    trace = swarm_chrome_trace(swarm_snap, global_snapshot, exported_unix)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trace, handle, sort_keys=True)
     return len(trace["traceEvents"])

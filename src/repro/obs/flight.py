@@ -1,0 +1,163 @@
+"""Crash flight recorder: dump the last moments of telemetry on failure.
+
+The bounded rings in :mod:`repro.obs` already hold "the recent past" —
+the last few thousand events and spans per node plus the process-wide
+aggregate.  The flight recorder turns that into a post-mortem artifact:
+when something goes wrong (a :class:`~repro.bitcoin.validation.
+ValidationError` on block connect, an invariant-monitor violation, a
+simulated node crash), :func:`trigger` writes one correlated bundle
+directory and stops after ``max_dumps`` so a failure storm cannot fill
+the disk.
+
+Bundle layout (``<directory>/flight-<seq>-<reason>/``):
+
+``MANIFEST.json``
+    reason, dump sequence number, optional ``sim_time``, the node names
+    captured, and each node's open-span count at the moment of dump.
+``events.jsonl``
+    The process-wide event ring as JSONL (one validated event per line).
+``node-<name>.events.jsonl``
+    Each captured node's private event ring.
+``trace.json``
+    A swarm Chrome trace (per-node ``pid`` tracks plus the global
+    ``repro`` track) — loads directly in Perfetto.
+``snapshot.json``
+    The merged :func:`repro.obs.swarm.swarm_snapshot` plus the global
+    :func:`repro.obs.snapshot`.
+
+The recorder is **disarmed by default**: :func:`trigger` is a cheap
+no-op until :func:`configure` gives it a directory.  Trigger points are
+rare paths (rejects, violations, crashes), so the lazy imports there
+cost nothing in the steady state.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = ["FlightRecorder", "configure", "disarm", "recorder", "trigger"]
+
+FLIGHT_SCHEMA = "repro.obs.flight/1"
+
+
+def _slug(reason: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", reason).strip("-") or "unknown"
+
+
+class FlightRecorder:
+    """Writes correlated telemetry bundles; armed only with a directory."""
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_dumps: int = 4,
+    ):
+        self.directory = Path(directory) if directory is not None else None
+        self.max_dumps = max_dumps
+        self.dumps = 0
+        self.nodes: list = []  # node-like objects (see swarm.telemetry_of)
+        self.sim = None  # optional Simulation for sim_time stamps
+
+    @property
+    def armed(self) -> bool:
+        return self.directory is not None and self.dumps < self.max_dumps
+
+    def attach(self, nodes: list, sim=None) -> None:
+        """Register the swarm whose telemetry a dump should capture."""
+        self.nodes = list(nodes)
+        self.sim = sim
+
+    def trigger(self, reason: str, sim_time: float | None = None) -> Path | None:
+        """Dump one bundle (no-op when disarmed); returns its directory."""
+        if not self.armed:
+            return None
+        from repro import obs
+        from repro.obs.export import write_swarm_chrome_trace
+        from repro.obs.swarm import swarm_snapshot, telemetry_of
+
+        if sim_time is None and self.sim is not None:
+            sim_time = getattr(self.sim, "now", None)
+
+        seq = self.dumps
+        self.dumps += 1
+        bundle = self.directory / f"flight-{seq:03d}-{_slug(reason)}"
+        bundle.mkdir(parents=True, exist_ok=True)
+
+        global_snap = obs.snapshot()
+        swarm_snap = swarm_snapshot(self.nodes)
+
+        obs.events().write_jsonl(str(bundle / "events.jsonl"))
+        open_spans: dict[str, int] = {"repro": len(obs.tracer()._open)}
+        for node in self.nodes:
+            telemetry = telemetry_of(node)
+            if telemetry is None:
+                continue
+            telemetry.events.write_jsonl(
+                str(bundle / f"node-{telemetry.name}.events.jsonl")
+            )
+            open_spans[telemetry.name] = len(telemetry.tracer._open)
+
+        write_swarm_chrome_trace(
+            str(bundle / "trace.json"), swarm_snap, global_snapshot=global_snap
+        )
+        with open(bundle / "snapshot.json", "w", encoding="utf-8") as handle:
+            json.dump(
+                {"global": global_snap, "swarm": swarm_snap},
+                handle,
+                sort_keys=True,
+            )
+
+        manifest = {
+            "schema": FLIGHT_SCHEMA,
+            "reason": reason,
+            "seq": seq,
+            "sim_time": sim_time,
+            "nodes": sorted(
+                name for name in open_spans if name != "repro"
+            ),
+            "open_spans": dict(sorted(open_spans.items())),
+        }
+        with open(bundle / "MANIFEST.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+
+        if obs.ENABLED:
+            obs.inc("flight.dumps_total")
+        return bundle
+
+
+# The process-wide recorder, disarmed until configure() names a directory.
+_recorder = FlightRecorder()
+
+
+def recorder() -> FlightRecorder:
+    return _recorder
+
+
+def configure(
+    directory: str | Path,
+    max_dumps: int = 4,
+    nodes: list | None = None,
+    sim=None,
+) -> FlightRecorder:
+    """Arm the process-wide recorder; returns it for chaining."""
+    _recorder.directory = Path(directory)
+    _recorder.max_dumps = max_dumps
+    _recorder.dumps = 0
+    if nodes is not None:
+        _recorder.attach(nodes, sim=sim)
+    return _recorder
+
+
+def disarm() -> None:
+    """Return the process-wide recorder to its inert default state."""
+    _recorder.directory = None
+    _recorder.dumps = 0
+    _recorder.nodes = []
+    _recorder.sim = None
+
+
+def trigger(reason: str, sim_time: float | None = None) -> Path | None:
+    """Dump a bundle from the process-wide recorder (no-op when disarmed)."""
+    return _recorder.trigger(reason, sim_time=sim_time)

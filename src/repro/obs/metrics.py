@@ -133,11 +133,29 @@ class Histogram:
         return quantile_from_cumulative(q, self.cumulative())
 
 
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text-format rules.
+
+    Backslash, double-quote, and newline are the three characters the
+    exposition format requires escaping inside ``key="value"`` — a raw
+    one of any would produce an unparseable series name.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def series_name(name: str, labels: dict[str, object]) -> str:
-    """``name{key="value",...}`` with keys sorted for determinism."""
+    """``name{key="value",...}`` with keys sorted for determinism and
+    values escaped per the Prometheus text-format rules."""
     if not labels:
         return name
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(
+        f'{k}="{escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 
@@ -181,7 +199,14 @@ class Registry:
     # -- recording helpers (one call per instrumentation site) ----------
 
     def inc(self, name: str, amount: int = 1, **labels: object) -> None:
-        self.counter(name).inc(amount)
+        # Inlined counter() + Counter.inc(): this is the hottest call in
+        # an instrumented simulation, and the two extra frames showed up.
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter()
+        if amount < 0:
+            raise ValueError("counters only go up")
+        found.value += amount
         if labels:
             self.counter(series_name(name, labels)).inc(amount)
 
@@ -198,7 +223,12 @@ class Registry:
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
         **labels: object,
     ) -> None:
-        self.histogram(name, buckets).observe(value)
+        found = self._histograms.get(name)  # inlined, as in inc()
+        if found is None:
+            found = self._histograms[name] = Histogram(buckets=buckets)
+        found.counts[bisect.bisect_left(found.buckets, value)] += 1
+        found.total += value
+        found.count += 1
         if labels:
             self.histogram(series_name(name, labels), buckets).observe(value)
 

@@ -1,0 +1,124 @@
+"""Swarm telemetry aggregation: merge per-node snapshots into one view.
+
+Each simulated :class:`~repro.bitcoin.network.Node` records into its own
+:class:`~repro.obs.NodeTelemetry` (while the process-wide registry keeps
+the aggregate).  :func:`swarm_snapshot` merges those per-node snapshots
+into one sorted, deterministic dict: every counter/gauge/histogram gains
+a ``node`` label dimension (``chain.blocks_connected_total{node="node3"}``),
+counters and histograms additionally sum into an unlabeled swarm-wide
+series, and the per-node event rings interleave into one stream ordered
+by ``(ts, node, seq)``.  Two identical seeded runs under a fake clock
+produce byte-identical JSON of this snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import series_name
+
+__all__ = ["SWARM_SCHEMA", "swarm_snapshot", "telemetry_of"]
+
+# Bump when the merged-snapshot shape changes.
+SWARM_SCHEMA = "repro.obs.swarm/1"
+
+
+def telemetry_of(node: object):
+    """The :class:`~repro.obs.NodeTelemetry` of a node-like object.
+
+    Accepts a ``network.Node`` (``.telemetry`` attribute) or a bare
+    ``NodeTelemetry``; returns None for nodes running without one
+    (standalone / created while observability was disabled).
+    """
+    telemetry = getattr(node, "telemetry", node)
+    return telemetry if hasattr(telemetry, "registry") else None
+
+
+def _merge_histograms(base: dict | None, extra: dict) -> dict:
+    """Sum two snapshot-shaped histograms (requires identical edges)."""
+    if base is None:
+        return {
+            "count": extra["count"],
+            "sum": extra["sum"],
+            "buckets": [list(pair) for pair in extra["buckets"]],
+        }
+    edges = [pair[0] for pair in base["buckets"]]
+    if edges != [pair[0] for pair in extra["buckets"]]:
+        # Mismatched bucket layouts cannot be summed; keep the first.
+        return base
+    return {
+        "count": base["count"] + extra["count"],
+        "sum": base["sum"] + extra["sum"],
+        "buckets": [
+            [edge, cum_a + cum_b]
+            for (edge, cum_a), (_, cum_b) in zip(
+                base["buckets"], extra["buckets"]
+            )
+        ],
+    }
+
+
+def swarm_snapshot(nodes: list) -> dict:
+    """Merge every node's telemetry into one sorted, deterministic dict.
+
+    ``nodes`` is a list of ``network.Node`` objects (or bare
+    ``NodeTelemetry``); nodes without telemetry are skipped.  The result::
+
+        {
+          "schema": "repro.obs.swarm/1",
+          "nodes":  {name: per-node snapshot (metrics + spans + events)},
+          "merged": {
+            "counters":   {name and name{node="..."}: value},
+            "gauges":     {name{node="..."}: value},
+            "histograms": {name and name{node="..."}: snapshot dict},
+          },
+          "events": [event dicts sorted by (ts, node, seq)],
+        }
+
+    Counters and histograms sum across nodes into the unlabeled series;
+    gauges are per-node only (summing a high-water mark across nodes is
+    meaningless).  All keys are sorted, so ``json.dumps(..., sort_keys=
+    True)`` of two identical seeded runs is byte-identical.
+    """
+    per_node: dict[str, dict] = {}
+    for node in nodes:
+        telemetry = telemetry_of(node)
+        if telemetry is None:
+            continue
+        per_node[telemetry.name] = telemetry.snapshot()
+
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    events: list[tuple] = []
+    for name in sorted(per_node):
+        snap = per_node[name]
+        label = {"node": name}
+        for series, value in snap["counters"].items():
+            if "{" in series:
+                continue  # per-node labeled series would double-label
+            counters[series] = counters.get(series, 0) + value
+            counters[series_name(series, label)] = value
+        for series, value in snap["gauges"].items():
+            if "{" in series:
+                continue
+            gauges[series_name(series, label)] = value
+        for series, hist in snap["histograms"].items():
+            if "{" in series:
+                continue
+            histograms[series] = _merge_histograms(
+                histograms.get(series), hist
+            )
+            histograms[series_name(series, label)] = hist
+        for event in snap["events"]:
+            events.append((event["ts"], name, event["seq"], event))
+
+    events.sort(key=lambda item: (item[0], item[1], item[2]))
+    return {
+        "schema": SWARM_SCHEMA,
+        "nodes": {name: per_node[name] for name in sorted(per_node)},
+        "merged": {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        },
+        "events": [item[3] for item in events],
+    }

@@ -336,6 +336,25 @@ class BlockStore:
             )
         return path
 
+    def snapshot_offsets_consistent(self) -> bool:
+        """Whether the manifest snapshot's log offsets are ≤ the log tails.
+
+        A snapshot whose recorded ``blocks_offset``/``undo_offset`` lie
+        beyond the bytes actually written would make recovery seek past
+        the end of a log — an invariant the runtime monitors sample
+        (:mod:`repro.obs.monitor`).  A store with no snapshot (or not
+        currently open) is trivially consistent.
+        """
+        if not self._opened:
+            return True
+        manifest_snap = self._manifest.get("snapshot")
+        if not manifest_snap:
+            return True
+        return (
+            int(manifest_snap.get("blocks_offset", 0)) <= self._block_log.tell()
+            and int(manifest_snap.get("undo_offset", 0)) <= self._undo_log.tell()
+        )
+
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------

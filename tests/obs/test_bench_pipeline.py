@@ -78,12 +78,13 @@ class TestRunBench:
 
 
 class TestRunnerDiscovery:
-    def test_discovers_all_sixteen_experiments(self):
+    def test_discovers_all_seventeen_experiments(self):
         names = runner.discover_experiments()
-        assert len(names) == 16
+        assert len(names) == 17
         assert all(name.startswith("bench_") for name in names)
         assert "bench_e6_verifier_scaling" in names
         assert "bench_a2_chaos_convergence" in names
+        assert "bench_a3_propagation" in names
         assert "bench_b1_verify_throughput" in names
         assert "bench_b2_recovery" in names
 

@@ -9,6 +9,7 @@ from repro import obs
 from repro.obs.events import (
     EVENT_KINDS,
     EVENT_SCHEMA_VERSION,
+    SUPPORTED_EVENT_SCHEMA_VERSIONS,
     EventLog,
     EventSchemaError,
     validate_event,
@@ -174,6 +175,59 @@ class TestValidateEvent:
         event = self.base()
         event["seq"] = -1
         with pytest.raises(EventSchemaError):
+            validate_event(event)
+
+
+class TestSchemaV2:
+    """The v2 bump: new swarm-telemetry kinds, v1 events still accepted."""
+
+    def test_current_version_is_two(self):
+        assert EVENT_SCHEMA_VERSION == 2
+        assert SUPPORTED_EVENT_SCHEMA_VERSIONS == (1, 2)
+
+    def test_v1_event_still_validates(self):
+        # An event written by a pre-PR-6 run must keep round-tripping.
+        validate_event({
+            "v": 1,
+            "seq": 3,
+            "ts": 1.0,
+            "kind": "block.connected",
+            "data": {"hash": "ab", "height": 1, "txs": 1},
+        })
+
+    @pytest.mark.parametrize(
+        "kind, payload",
+        [
+            (
+                "relay.hop",
+                {"trace": "blk0-aabbccdd", "from": "node0",
+                 "to": "node1", "hop": 1, "sim_time": 2.5},
+            ),
+            ("monitor.violation", {"monitor": "supply", "detail": "x"}),
+            ("node.crash", {"node": "node0", "open_spans": 2}),
+            ("fault.inflation", {"node": "node0", "amount": 50}),
+        ],
+    )
+    def test_new_kinds_round_trip(self, kind, payload):
+        log = EventLog()
+        log.emit(kind, **payload)
+        parsed = json.loads(log.to_jsonl().strip())
+        validate_event(parsed)
+        assert parsed["v"] == 2
+        assert parsed["data"] == payload
+
+    def test_new_kinds_reject_v1(self):
+        # v1 writers never produced these kinds; flagging a mixed file
+        # early beats silently accepting an impossible combination.
+        event = {
+            "v": 1,
+            "seq": 0,
+            "ts": 0.0,
+            "kind": "relay.hop",
+            "data": {"trace": "t", "from": "a", "to": "b",
+                     "hop": 0, "sim_time": 0.0},
+        }
+        with pytest.raises(EventSchemaError, match="introduced in"):
             validate_event(event)
 
 

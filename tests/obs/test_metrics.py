@@ -42,6 +42,26 @@ class TestCountersAndGauges:
     def test_series_name_sorts_labels(self):
         assert series_name("m", {"b": 1, "a": 2}) == 'm{a="2",b="1"}'
 
+    def test_series_name_escapes_label_values(self):
+        # Prometheus text-format escaping: backslash, quote, newline.
+        assert (
+            series_name("m", {"reason": 'bad "input"'})
+            == 'm{reason="bad \\"input\\""}'
+        )
+        assert series_name("m", {"p": "a\\b"}) == 'm{p="a\\\\b"}'
+        assert series_name("m", {"r": "x\ny"}) == 'm{r="x\\ny"}'
+
+    def test_escaped_labels_render_one_line_per_series(self):
+        # A newline smuggled through a label value must not split the
+        # exposition line (it would corrupt the text format).
+        reg = Registry()
+        reg.inc("v.total", 1, reason="multi\nline")
+        exposition = reg.render_text()
+        # render_text sanitizes the metric name (dots -> underscores) but
+        # must keep the escaped label value on a single line.
+        lines = [l for l in exposition.splitlines() if "v_total{" in l]
+        assert lines == ['v_total{reason="multi\\nline"} 1']
+
 
 class TestHistogramBuckets:
     def test_exact_edge_lands_in_its_bucket(self):
