@@ -10,11 +10,24 @@ Usage::
 
     python benchmarks/compare.py BENCH_base.json BENCH_new.json
     python benchmarks/compare.py BENCH_base.json BENCH_new.json --threshold 0.10
+    python benchmarks/compare.py BENCH_base.json BENCH_new.json --blame
     python benchmarks/compare.py --check-schema BENCH_new.json
 
 Experiments present in the baseline but missing from the candidate are
 failures too (a deleted benchmark must be an explicit decision, not a
 silent hole in the trajectory), unless ``--allow-missing`` is given.
+Experiments that *failed in the baseline* are skipped with a note — a
+broken baseline row cannot meaningfully gate a candidate.
+
+Blame mode
+----------
+
+When both trajectories carry per-phase cost vectors (the ``"profile"``
+section ``runner.py`` records unless ``--no-profile``), every wall-time
+regression is annotated with the phases whose self-time grew the most —
+"A1 regressed, and 78% of the growth is in ``script``" — so the gate
+names a suspect instead of just a symptom.  ``--blame`` prints the
+per-phase diff for every experiment, regressed or not.
 """
 
 from __future__ import annotations
@@ -24,6 +37,10 @@ import json
 import sys
 
 BENCH_SCHEMA = "repro.bench/1"
+PROFILE_SCHEMA = "repro.profile/1"
+
+# How many regressing phases a blame annotation names.
+BLAME_TOP = 3
 
 
 class SchemaError(ValueError):
@@ -65,6 +82,88 @@ def check_schema(data: dict, path: str = "<data>") -> None:
                     raise SchemaError(
                         f"{path}: bench {key}/{bench_name} stats missing {stat!r}"
                     )
+        if "profile" in record:
+            _check_profile(record["profile"], key, path)
+
+
+def _check_profile(profile: object, key: str, path: str) -> None:
+    """Validate an experiment's optional per-phase cost vector."""
+    if not isinstance(profile, dict):
+        raise SchemaError(f"{path}: experiment {key!r} profile must be an object")
+    if profile.get("schema") != PROFILE_SCHEMA:
+        raise SchemaError(
+            f"{path}: experiment {key!r} profile schema"
+            f" {profile.get('schema')!r} != {PROFILE_SCHEMA!r}"
+        )
+    phases = profile.get("phases")
+    if not isinstance(phases, dict):
+        raise SchemaError(
+            f"{path}: experiment {key!r} profile must map phases to costs"
+        )
+    for phase, entry in phases.items():
+        if not isinstance(entry, dict):
+            raise SchemaError(
+                f"{path}: experiment {key!r} phase {phase!r} must be an object"
+            )
+        if not isinstance(entry.get("seconds"), (int, float)):
+            raise SchemaError(
+                f"{path}: experiment {key!r} phase {phase!r} missing 'seconds'"
+            )
+        if not isinstance(entry.get("calls"), int):
+            raise SchemaError(
+                f"{path}: experiment {key!r} phase {phase!r} missing 'calls'"
+            )
+
+
+def phase_seconds(record: dict) -> dict[str, float] | None:
+    """The per-phase self-seconds vector of an experiment record, if any."""
+    profile = record.get("profile")
+    if not isinstance(profile, dict):
+        return None
+    phases = profile.get("phases")
+    if not isinstance(phases, dict):
+        return None
+    return {
+        phase: float(entry.get("seconds", 0.0))
+        for phase, entry in phases.items()
+        if isinstance(entry, dict)
+    }
+
+
+def blame_phases(
+    base_record: dict, new_record: dict, top: int = BLAME_TOP
+) -> list[str]:
+    """Name the phases whose self-time grew the most between two records.
+
+    Returns human-readable annotation lines, or ``[]`` when either record
+    lacks a phase vector (old trajectory files, ``--no-profile`` runs) or
+    no phase got slower.  Growth percentages are of the summed positive
+    growth, so the lines answer "where did the extra time go?".
+    """
+    base_phases = phase_seconds(base_record)
+    new_phases = phase_seconds(new_record)
+    if base_phases is None or new_phases is None:
+        return []
+    deltas = {
+        phase: new_phases.get(phase, 0.0) - base_phases.get(phase, 0.0)
+        for phase in set(base_phases) | set(new_phases)
+    }
+    regressing = sorted(
+        ((delta, phase) for phase, delta in deltas.items() if delta > 0),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    if not regressing:
+        return []
+    total_growth = sum(delta for delta, _ in regressing)
+    lines = []
+    for delta, phase in regressing[:top]:
+        share = delta / total_growth if total_growth else 0.0
+        lines.append(
+            f"blame: {phase} +{delta:.3f}s ({share:.0%} of phase growth;"
+            f" {base_phases.get(phase, 0.0):.3f}s ->"
+            f" {new_phases.get(phase, 0.0):.3f}s)"
+        )
+    return lines
 
 
 def compare(
@@ -72,8 +171,14 @@ def compare(
     new: dict,
     threshold: float = 0.25,
     allow_missing: bool = False,
+    blame_all: bool = False,
 ) -> tuple[list[str], list[str]]:
-    """Compare trajectories; returns (report lines, failure descriptions)."""
+    """Compare trajectories; returns (report lines, failure descriptions).
+
+    Regressed experiments are annotated with the top regressing phases
+    when both records carry phase vectors; ``blame_all=True`` prints the
+    phase diff for every comparable experiment.
+    """
     lines: list[str] = []
     failures: list[str] = []
     lines.append(
@@ -93,6 +198,13 @@ def compare(
             lines.append(f"{key:<28}{base_record['wall_seconds']:>9.2f}s"
                          f"{'-':>10}{'-':>9}  {verdict}")
             continue
+        if not base_record.get("ok", True):
+            # A failed baseline row has no meaningful timing to gate
+            # against; note it and move on rather than comparing garbage.
+            lines.append(f"{key:<28}{'-':>10}"
+                         f"{new_record['wall_seconds']:>9.2f}s"
+                         f"{'-':>9}  skipped (baseline run failed)")
+            continue
         if not new_record["ok"]:
             failures.append(f"{key}: candidate run failed")
             lines.append(f"{key:<28}{base_record['wall_seconds']:>9.2f}s"
@@ -101,18 +213,25 @@ def compare(
         base_wall = base_record["wall_seconds"]
         new_wall = new_record["wall_seconds"]
         delta = (new_wall - base_wall) / base_wall if base_wall else 0.0
+        blame = blame_phases(base_record, new_record)
         if delta > threshold:
             verdict = "REGRESSED"
-            failures.append(
+            failure = (
                 f"{key}: wall time {base_wall:.2f}s -> {new_wall:.2f}s"
                 f" (+{delta:.0%} > +{threshold:.0%})"
             )
+            if blame:
+                # "blame: script +0.42s (78% ...)" -> "script +0.42s"
+                failure += f" [{blame[0].removeprefix('blame: ').split(' (')[0]}]"
+            failures.append(failure)
         elif delta < -threshold:
             verdict = "faster"
         else:
             verdict = "ok"
         lines.append(f"{key:<28}{base_wall:>9.2f}s{new_wall:>9.2f}s"
                      f"{delta:>+8.0%}  {verdict}")
+        if blame and (verdict == "REGRESSED" or blame_all):
+            lines.extend(f"{'':<28}{annotation}" for annotation in blame)
 
     new_only = sorted(set(new["experiments"]) - set(base["experiments"]))
     for key in new_only:
@@ -136,6 +255,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check-schema", action="store_true",
                         help="only validate the given file(s) against the"
                              " trajectory schema")
+    parser.add_argument("--blame", action="store_true",
+                        help="print the per-phase cost diff for every"
+                             " experiment, not just regressed ones")
     args = parser.parse_args(argv)
 
     if args.check_schema:
@@ -160,7 +282,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     lines, failures = compare(
-        base, new, threshold=args.threshold, allow_missing=args.allow_missing
+        base,
+        new,
+        threshold=args.threshold,
+        allow_missing=args.allow_missing,
+        blame_all=args.blame,
     )
     print("\n".join(lines))
     if failures:

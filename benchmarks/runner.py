@@ -99,9 +99,19 @@ def _obs_metrics(snapshot: dict) -> dict:
 
 
 def run_experiment(
-    module_name: str, max_rounds: int | None = None, quiet: bool = True
+    module_name: str,
+    max_rounds: int | None = None,
+    quiet: bool = True,
+    profile: bool = False,
 ) -> dict:
-    """Run one experiment module; returns its trajectory record."""
+    """Run one experiment module; returns its trajectory record.
+
+    With ``profile=True`` a fresh :class:`repro.obs.PhaseProfiler` is
+    installed for the experiment's duration and its per-phase cost vector
+    lands in the record's ``"profile"`` section — the input
+    ``compare.py --blame`` uses to name which phase a wall-time
+    regression came from.
+    """
     record: dict = {"file": f"{module_name}.py", "benches": {}, "ok": True}
     wall_start = time.perf_counter()
     try:
@@ -113,24 +123,33 @@ def run_experiment(
         return record
     if obs.ENABLED:
         obs.reset()
-    for bench in bench_functions(module):
-        stub = StubBenchmark(max_rounds=max_rounds)
-        bench_record: dict = {"ok": True}
-        try:
-            run_bench(bench, stub)
-        except Exception:
-            bench_record["ok"] = False
-            bench_record["error"] = traceback.format_exc(limit=3)
-            record["ok"] = False
-        bench_record["stats"] = stub.stats.as_dict()
-        bench_record["extra_info"] = _jsonable(stub.extra_info)
-        record["benches"][bench.__name__] = bench_record
-    record["wall_seconds"] = time.perf_counter() - wall_start
-    if obs.ENABLED:
-        snap = obs.snapshot()
-        record["obs"] = _obs_metrics(snap)
-        if not quiet:
-            print(render_report(snap, title=module_name))
+    prev_profiler = None
+    if profile and obs.ENABLED:
+        prev_profiler = obs.set_profiler(obs.PhaseProfiler())
+    try:
+        for bench in bench_functions(module):
+            stub = StubBenchmark(max_rounds=max_rounds)
+            bench_record: dict = {"ok": True}
+            try:
+                run_bench(bench, stub)
+            except Exception:
+                bench_record["ok"] = False
+                bench_record["error"] = traceback.format_exc(limit=3)
+                record["ok"] = False
+            bench_record["stats"] = stub.stats.as_dict()
+            bench_record["extra_info"] = _jsonable(stub.extra_info)
+            record["benches"][bench.__name__] = bench_record
+        record["wall_seconds"] = time.perf_counter() - wall_start
+        if obs.ENABLED:
+            snap = obs.snapshot()
+            record["obs"] = _obs_metrics(snap)
+            if profile:
+                record["profile"] = obs.PROFILER.snapshot()
+            if not quiet:
+                print(render_report(snap, title=module_name))
+    finally:
+        if profile and obs.ENABLED:
+            obs.set_profiler(prev_profiler)
     return record
 
 
@@ -159,19 +178,25 @@ def run_all(
     max_rounds: int | None = None,
     use_obs: bool = True,
     out_path: str | None = None,
+    profile: bool = True,
 ) -> tuple[dict, str]:
     """Run every experiment and write ``BENCH_<label>.json``.
 
-    Returns (trajectory dict, output path).
+    Returns (trajectory dict, output path).  Phase profiling is on by
+    default when observability is (the deterministic profiler costs a
+    few clock reads per span/hook, identical across the runs being
+    compared); ``profile=False`` drops the per-phase vectors.
     """
     if use_obs:
         obs.enable()
+    profile = profile and use_obs
     trajectory: dict = {
         "schema": BENCH_SCHEMA,
         "label": label,
         "created_unix": time.time(),
         "git_sha": git_sha(),
         "obs_enabled": use_obs,
+        "profile_enabled": profile,
         "smoke": max_rounds is not None,
         "python": sys.version.split()[0],
         "experiments": {},
@@ -185,7 +210,9 @@ def run_all(
         # tax its alphabetical successors with its collection pauses.
         gc.collect()
         started = time.perf_counter()
-        record = run_experiment(module_name, max_rounds=max_rounds)
+        record = run_experiment(
+            module_name, max_rounds=max_rounds, profile=profile
+        )
         status = "ok" if record["ok"] else "FAILED"
         print(f"    {status} in {time.perf_counter() - started:.1f}s", flush=True)
         trajectory["experiments"][key] = record
@@ -206,6 +233,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="clamp every benchmark to 1 round (CI smoke mode)")
     parser.add_argument("--no-obs", dest="use_obs", action="store_false",
                         help="run without the observability snapshot")
+    parser.add_argument("--no-profile", dest="profile", action="store_false",
+                        help="skip the per-phase cost vectors")
     parser.add_argument("--out", default=None,
                         help="output path (default: <repo>/BENCH_<label>.json)")
     args = parser.parse_args(argv)
@@ -216,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         max_rounds=1 if args.smoke else None,
         use_obs=args.use_obs,
         out_path=args.out,
+        profile=args.profile,
     )
     failed = [
         key for key, record in trajectory["experiments"].items()

@@ -12,8 +12,10 @@ export PYTHONPATH=src
 echo "== bench: smoke trajectory (1 round per benchmark) =="
 python benchmarks/runner.py --label smoke --smoke
 
-echo "== bench: schema check =="
-python benchmarks/compare.py --check-schema BENCH_smoke.json
+echo "== bench: schema check (every committed trajectory) =="
+# All BENCH_*.json at the repo root must stay loadable: schema drift in
+# compare.py that silently orphans an old baseline is itself a bug.
+python benchmarks/compare.py --check-schema BENCH_*.json
 
 echo "== bench: self-compare (gate sanity) =="
 python benchmarks/compare.py BENCH_smoke.json BENCH_smoke.json

@@ -6,21 +6,24 @@
 # (scripts/chaos_smoke.py), --recovery to run the seeded kill-mid-write
 # durability smoke (scripts/recovery_smoke.py), and --monitors to run the
 # chaos profiles under strict runtime invariant monitors
-# (scripts/monitor_smoke.py). Run from anywhere; paths resolve relative
-# to the repo root.
+# (scripts/monitor_smoke.py), and --profile to run the phase-profiling
+# smoke (scripts/profile_smoke.py). Run from anywhere; paths resolve
+# relative to the repo root.
 set -euo pipefail
 
 run_bench=0
 run_chaos=0
 run_recovery=0
 run_monitors=0
+run_profile=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
     --chaos) run_chaos=1 ;;
     --recovery) run_recovery=1 ;;
     --monitors) run_monitors=1 ;;
-    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors]" >&2; exit 2 ;;
+    --profile) run_profile=1 ;;
+    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors] [--profile]" >&2; exit 2 ;;
   esac
 done
 
@@ -48,6 +51,11 @@ fi
 if [ "$run_monitors" = 1 ]; then
   echo "== monitors: chaos profiles under strict invariant monitors =="
   python scripts/monitor_smoke.py
+fi
+
+if [ "$run_profile" = 1 ]; then
+  echo "== profile: one profiled A1 run (ledger + folded output) =="
+  python scripts/profile_smoke.py
 fi
 
 if [ "$run_bench" = 1 ]; then

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Profiling smoke: one profiled A1 run must yield a non-empty phase
+ledger and parseable collapsed-stack output.
+
+Runs the A1 fork-rate experiment (lowest latency point only, so the
+smoke stays cheap) with the deterministic phase profiler installed and
+the stack sampler hooked, then asserts:
+
+* the phase ledger attributes time to at least the block-pipeline phases
+  (``chain_connect``, ``utxo_apply``) and every touched phase is in the
+  fixed taxonomy;
+* self-times are non-negative and sum to no more than the profiled wall
+  time (the no-double-count invariant);
+* the sampler's folded output parses as valid collapsed-stack text.
+
+Exit 0 on success.  ``scripts/check.sh --profile`` runs this.
+"""
+
+import importlib.util
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import obs  # noqa: E402
+from repro.obs.profile import PHASE_NAMES, parse_folded  # noqa: E402
+from repro.obs.report import render_phases  # noqa: E402
+
+
+def load_a1():
+    spec = importlib.util.spec_from_file_location(
+        "bench_a1_fork_rate",
+        os.path.join(REPO_ROOT, "benchmarks", "bench_a1_fork_rate.py"),
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main() -> int:
+    obs.enable()
+    obs.reset()
+    profiler = obs.PhaseProfiler()
+    obs.set_profiler(profiler)
+    sampler = obs.StackSampler()
+
+    bench = load_a1()
+    wall_start = time.perf_counter()
+    with sampler:
+        result = bench.run_with_latency(2.0)
+    wall = time.perf_counter() - wall_start
+    obs.set_profiler(None)
+
+    snap = profiler.snapshot()
+    phases = snap["phases"]
+    print(render_phases(snap, title="A1 (latency=2.0)"))
+    print(f"profiled wall time: {wall:.3f}s")
+
+    assert result["height"] > 0, "A1 produced no chain"
+    assert phases, "phase ledger is empty"
+    for expected in ("chain_connect", "utxo_apply"):
+        assert expected in phases, f"missing phase {expected!r}"
+        assert phases[expected]["calls"] > 0
+    unknown = set(phases) - PHASE_NAMES
+    assert not unknown, f"phases outside the taxonomy: {unknown}"
+    total_self = sum(cost["seconds"] for cost in phases.values())
+    assert all(cost["seconds"] >= 0 for cost in phases.values())
+    assert total_self <= wall * 1.05, (
+        f"self-times ({total_self:.3f}s) exceed wall time ({wall:.3f}s):"
+        " double-counted attribution"
+    )
+
+    folded = sampler.folded()
+    entries = parse_folded(folded)
+    assert entries, "sampler produced no stacks"
+    deepest = max(entries, key=lambda entry: len(entry[0]))
+    print(f"folded stacks: {len(entries)} unique"
+          f" (deepest {len(deepest[0])} frames)")
+
+    print("ok: profiling smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from functools import cached_property
 
+from repro import obs
 from repro.bitcoin.pow import check_proof_of_work
 from repro.bitcoin.transaction import Transaction, read_varint, varint
 from repro.crypto.hashing import sha256d
@@ -99,13 +100,20 @@ class Block:
 
     @staticmethod
     def parse(data: bytes) -> "Block":
-        header = BlockHeader.parse(data)
-        count, offset = read_varint(data, HEADER_SIZE)
-        txs = []
-        for _ in range(count):
-            tx, offset = Transaction.parse_from(data, offset)
-            txs.append(tx)
-        return Block(header, txs)
+        prof = obs.PROFILER if obs.ENABLED else None
+        if prof is not None:
+            prof.enter("parse")
+        try:
+            header = BlockHeader.parse(data)
+            count, offset = read_varint(data, HEADER_SIZE)
+            txs = []
+            for _ in range(count):
+                tx, offset = Transaction.parse_from(data, offset)
+                txs.append(tx)
+            return Block(header, txs)
+        finally:
+            if prof is not None:
+                prof.exit()
 
     def compute_merkle_root(self) -> bytes:
         return merkle_root([tx.txid for tx in self.txs])

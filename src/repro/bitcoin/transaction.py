@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from functools import cached_property
 
+from repro import obs
 from repro.bitcoin.script import Script
 from repro.crypto.hashing import sha256d
 
@@ -136,6 +137,17 @@ class Transaction:
     @staticmethod
     def parse_from(data: bytes, start: int) -> "tuple[Transaction, int]":
         """Parse one transaction at ``start``; returns (tx, next_offset)."""
+        prof = obs.PROFILER if obs.ENABLED else None
+        if prof is not None:
+            prof.enter("parse")
+        try:
+            return Transaction._parse_from(data, start)
+        finally:
+            if prof is not None:
+                prof.exit()
+
+    @staticmethod
+    def _parse_from(data: bytes, start: int) -> "tuple[Transaction, int]":
         version = int.from_bytes(data[start : start + 4], "little")
         n_in, offset = read_varint(data, start + 4)
         vin = []

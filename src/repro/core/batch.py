@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.bitcoin.transaction import OutPoint, Transaction
 from repro.core.proofs import (
     decompose_tensor,
@@ -163,6 +164,12 @@ class BatchServer:
         party"), requires the txout to be locked to its own key, and
         credits ``owner``.
         """
+        if obs.ENABLED:
+            with obs.trace_span("batch.deposit", owner=owner.hex()[:8]):
+                return self._deposit(bundle, owner)
+        return self._deposit(bundle, owner)
+
+    def _deposit(self, bundle: ClaimBundle, owner: bytes) -> int:
         try:
             ledger = verify_claim(
                 self.net.chain, bundle, base_ledger=self.client.ledger
@@ -214,6 +221,16 @@ class BatchServer:
         ``authorizations`` maps each input owner's principal to a
         (pubkey, signature) pair over :meth:`VirtualTransaction.payload`.
         """
+        if obs.ENABLED:
+            with obs.trace_span("batch.transact", inputs=len(vtx.inputs)):
+                return self._transact(vtx, authorizations)
+        return self._transact(vtx, authorizations)
+
+    def _transact(
+        self,
+        vtx: VirtualTransaction,
+        authorizations: dict[bytes, tuple[bytes, bytes]],
+    ) -> int:
         if not vtx.inputs:
             raise BatchError("virtual transactions need at least one input")
         if _proof_uses_affine_assert(vtx.proof):
@@ -308,6 +325,14 @@ class BatchServer:
         resource to ``recipient_pubkey``, the other live resources back to
         the server's key, and submits it.  Returns the carrier.
         """
+        if obs.ENABLED:
+            with obs.trace_span("batch.withdraw", resource=resource_id):
+                return self._withdraw(resource_id, recipient_pubkey, fee)
+        return self._withdraw(resource_id, recipient_pubkey, fee)
+
+    def _withdraw(
+        self, resource_id: int, recipient_pubkey: bytes, fee: int
+    ) -> Transaction:
         target = self._resources.get(resource_id)
         if target is None or target.consumed_by is not None or target.withdrawn:
             raise BatchError("resource is not available for withdrawal")

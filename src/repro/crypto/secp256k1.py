@@ -452,18 +452,26 @@ def scalar_mult(k: int, p: Point = GENERATOR) -> Point:
     k %= CURVE_ORDER
     if k == 0 or p.is_infinity:
         return INFINITY
+    prof = None
     if obs.ENABLED:
         obs.inc("ecmult.mults_total")
-    if p.x == _GX and p.y == _GY:
-        return _from_jacobian(_gen_mult_jacobian(k))
-    table = _point_wnaf_table(p)
-    naf = _wnaf(k, _WNAF_WIDTH)
-    acc = (0, 0, 0)
-    for digit in reversed(naf):
-        acc = _jacobian_double(acc)
-        if digit:
-            acc = _madd_digit(acc, table, digit)
-    return _from_jacobian(acc)
+        prof = obs.PROFILER
+        if prof is not None:
+            prof.enter("ecmult")
+    try:
+        if p.x == _GX and p.y == _GY:
+            return _from_jacobian(_gen_mult_jacobian(k))
+        table = _point_wnaf_table(p)
+        naf = _wnaf(k, _WNAF_WIDTH)
+        acc = (0, 0, 0)
+        for digit in reversed(naf):
+            acc = _jacobian_double(acc)
+            if digit:
+                acc = _madd_digit(acc, table, digit)
+        return _from_jacobian(acc)
+    finally:
+        if prof is not None:
+            prof.exit()
 
 
 def _wnaf_signed(k: int, width: int) -> list[int]:
@@ -490,49 +498,59 @@ def dual_scalar_mult(u1: int, u2: int, q: Point) -> Point:
         u2 = 0
     if not u1 and not u2:
         return INFINITY
+    prof = None
     if obs.ENABLED:
         obs.inc("ecmult.dual_total")
+        prof = obs.PROFILER
+        if prof is not None:
+            prof.enter("ecmult")
+    try:
+        streams: list[tuple[list[int], list[tuple[int, int]]]] = []
+        if u1:
+            k1, k2 = _glv_split(u1)
+            if k1:
+                streams.append(
+                    (_wnaf_signed(k1, _GEN_WNAF_WIDTH), _gen_wnaf_table())
+                )
+            if k2:
+                streams.append(
+                    (_wnaf_signed(k2, _GEN_WNAF_WIDTH), _gen_lambda_wnaf_table())
+                )
+        if u2:
+            k1, k2 = _glv_split(u2)
+            qtab = _point_wnaf_table(q)
+            if k1:
+                streams.append((_wnaf_signed(k1, _WNAF_WIDTH), qtab))
+            if k2:
+                lqtab = [(_BETA * x % FIELD_PRIME, y) for x, y in qtab]
+                streams.append((_wnaf_signed(k2, _WNAF_WIDTH), lqtab))
 
-    streams: list[tuple[list[int], list[tuple[int, int]]]] = []
-    if u1:
-        k1, k2 = _glv_split(u1)
-        if k1:
-            streams.append((_wnaf_signed(k1, _GEN_WNAF_WIDTH), _gen_wnaf_table()))
-        if k2:
-            streams.append(
-                (_wnaf_signed(k2, _GEN_WNAF_WIDTH), _gen_lambda_wnaf_table())
-            )
-    if u2:
-        k1, k2 = _glv_split(u2)
-        qtab = _point_wnaf_table(q)
-        if k1:
-            streams.append((_wnaf_signed(k1, _WNAF_WIDTH), qtab))
-        if k2:
-            lqtab = [(_BETA * x % FIELD_PRIME, y) for x, y in qtab]
-            streams.append((_wnaf_signed(k2, _WNAF_WIDTH), lqtab))
-
-    top = max(len(naf) for naf, _ in streams)
-    # Pad every stream to the ladder length so the hot loop is branch-light.
-    padded = [
-        (naf + [0] * (top - len(naf)), tab) for naf, tab in streams
-    ]
-    p = FIELD_PRIME
-    x, y, z = 0, 0, 0
-    for i in range(top - 1, -1, -1):
-        if z:
-            if y == 0:
-                x, y, z = 0, 0, 0
-            else:
-                # Inlined Jacobian doubling: the ladder's innermost step.
-                yy = y * y % p
-                s = 4 * x * yy % p
-                m = 3 * x * x % p
-                x3 = (m * m - 2 * s) % p
-                y3 = (m * (s - x3) - 8 * yy * yy) % p
-                z = 2 * y * z % p
-                x, y = x3, y3
-        for naf, tab in padded:
-            digit = naf[i]
-            if digit:
-                x, y, z = _madd_digit((x, y, z), tab, digit)
-    return _from_jacobian((x, y, z))
+        top = max(len(naf) for naf, _ in streams)
+        # Pad every stream to the ladder length so the hot loop is
+        # branch-light.
+        padded = [
+            (naf + [0] * (top - len(naf)), tab) for naf, tab in streams
+        ]
+        p = FIELD_PRIME
+        x, y, z = 0, 0, 0
+        for i in range(top - 1, -1, -1):
+            if z:
+                if y == 0:
+                    x, y, z = 0, 0, 0
+                else:
+                    # Inlined Jacobian doubling: the ladder's innermost step.
+                    yy = y * y % p
+                    s = 4 * x * yy % p
+                    m = 3 * x * x % p
+                    x3 = (m * m - 2 * s) % p
+                    y3 = (m * (s - x3) - 8 * yy * yy) % p
+                    z = 2 * y * z % p
+                    x, y = x3, y3
+            for naf, tab in padded:
+                digit = naf[i]
+                if digit:
+                    x, y, z = _madd_digit((x, y, z), tab, digit)
+        return _from_jacobian((x, y, z))
+    finally:
+        if prof is not None:
+            prof.exit()

@@ -78,6 +78,17 @@ def check_kind(basis: Basis, ctx: LFContext, kind: KindT) -> None:
 
 def infer_kind(basis: Basis, ctx: LFContext, family: TypeFamily) -> KindT:
     """Judgement Σ;Ψ ⊢ τ : k (kind synthesis)."""
+    prof = obs.PROFILER if obs.ENABLED else None
+    if prof is not None:
+        prof.enter("lf_typecheck")
+    try:
+        return _infer_kind(basis, ctx, family)
+    finally:
+        if prof is not None:
+            prof.exit()
+
+
+def _infer_kind(basis: Basis, ctx: LFContext, family: TypeFamily) -> KindT:
     if isinstance(family, TConst):
         try:
             decl = basis.lookup(family.ref)
@@ -113,8 +124,24 @@ def check_family_is_type(basis: Basis, ctx: LFContext, family: TypeFamily) -> No
 
 def infer_type(basis: Basis, ctx: LFContext, term: Term) -> TypeFamily:
     """Judgement Σ;Ψ ⊢ m : τ (type synthesis)."""
+    prof = None
     if obs.ENABLED:
         obs.inc("lf.typecheck_total")
+        prof = obs.PROFILER
+        if prof is not None:
+            # Recursive per-node calls re-enter the phase at the top of the
+            # profiler stack, which collapses to a counter bump — no clock
+            # reads on the recursion, so profiling doesn't distort the
+            # typechecker's own cost.
+            prof.enter("lf_typecheck")
+    try:
+        return _infer_type(basis, ctx, term)
+    finally:
+        if prof is not None:
+            prof.exit()
+
+
+def _infer_type(basis: Basis, ctx: LFContext, term: Term) -> TypeFamily:
     if isinstance(term, Var):
         return ctx.lookup(term.name)
     if isinstance(term, Const):

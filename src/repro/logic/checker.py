@@ -169,10 +169,16 @@ class CheckerContext:
 
 def check_prop_formation(basis: Basis, lf_ctx: LFContext, prop: Proposition) -> None:
     """Judgement Σ;Ψ ⊢ A prop."""
+    prof = obs.PROFILER if obs.ENABLED else None
+    if prof is not None:
+        prof.enter("logic_check")
     try:
         _check_prop_formation(basis, lf_ctx, prop)
     except LFTypeError as exc:
         raise ProofError(f"ill-formed proposition {prop}: {exc}") from exc
+    finally:
+        if prof is not None:
+            prof.exit()
 
 
 def _check_prop_formation(basis: Basis, lf_ctx: LFContext, prop: Proposition) -> None:
@@ -266,8 +272,23 @@ def _disjoint(*sets: Used) -> Used:
 
 def infer(ctx: CheckerContext, term: ProofTerm) -> tuple[Proposition, Used]:
     """The judgement T;Σ;Ψ;Γ;Δ ⊢ M : A, synthesizing A and the consumed set."""
+    prof = None
     if obs.ENABLED:
         obs.inc("proof.nodes_total")
+        prof = obs.PROFILER
+        if prof is not None:
+            # Per-node recursion collapses to a counter bump in the
+            # profiler (same phase at top of stack), so proof checking is
+            # not distorted by its own instrumentation.
+            prof.enter("logic_check")
+    try:
+        return _infer(ctx, term)
+    finally:
+        if prof is not None:
+            prof.exit()
+
+
+def _infer(ctx: CheckerContext, term: ProofTerm) -> tuple[Proposition, Used]:
     if isinstance(term, PVar):
         if term.name in ctx.affine:
             return ctx.affine[term.name], frozenset((term.name,))

@@ -44,6 +44,10 @@ def quantile_from_cumulative(
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not pairs:
+        # A bucketless histogram (hand-built snapshot, truncated JSON) has
+        # no quantiles; treat it like an empty one.
+        return 0.0
     total = pairs[-1][1]
     if total == 0:
         return 0.0

@@ -33,8 +33,13 @@ def render_report(snapshot: dict | None = None, title: str = "observability") ->
         for name, hist in histograms.items():
             timing = "seconds" in name
             fmt = _fmt_seconds if timing else lambda v: f"{v:.2f}"
-            total = _fmt_seconds(hist["sum"]) if timing else f"{hist['sum']:g}"
-            row = f"{name:<44}{hist['count']:>8}{total:>11}{fmt(hist['mean']):>11}"
+            # Hand-built or truncated snapshots may lack any of these
+            # fields; render zeros rather than crashing the report.
+            total_value = hist.get("sum", 0.0)
+            count = hist.get("count", 0)
+            mean = hist.get("mean", 0.0)
+            total = _fmt_seconds(total_value) if timing else f"{total_value:g}"
+            row = f"{name:<44}{count:>8}{total:>11}{fmt(mean):>11}"
             # Quantiles are interpolated from buckets (see docs); snapshots
             # predating the export layer may lack them.
             for key in ("p50", "p95", "p99"):
@@ -64,6 +69,47 @@ def render_report(snapshot: dict | None = None, title: str = "observability") ->
         lines.append(f"events recorded: {len(event_list)}"
                      + (f" (dropped {snap['events_dropped']})"
                         if snap.get("events_dropped") else ""))
+    return "\n".join(lines)
+
+
+def render_phases(profile: dict | None = None, title: str = "phases") -> str:
+    """Format a profiler snapshot's phase ledger as an aligned table.
+
+    ``profile`` is a :meth:`repro.obs.PhaseProfiler.snapshot` dict (live
+    or loaded from a ``BENCH_*.json`` experiment record); ``None`` reads
+    the installed profiler.  Rows are sorted by self-time, descending, so
+    the top line answers "where did this run spend its time?".
+    """
+    if profile is None:
+        prof = obs.profiler()
+        if prof is None:
+            return f"--- {title}: no profiler installed ---"
+        profile = prof.snapshot()
+    phases = profile.get("phases") or {}
+    lines = [f"--- {title}: per-phase self time ---"]
+    if not phases:
+        lines.append("(no phase activity recorded)")
+        return "\n".join(lines)
+    track_alloc = any("alloc_bytes" in entry for entry in phases.values())
+    header = f"{'phase':<18}{'self':>11}{'calls':>10}{'share':>8}"
+    if track_alloc:
+        header += f"{'alloc':>12}"
+    lines.append(header)
+    total = sum(entry.get("seconds", 0.0) for entry in phases.values())
+    ordered = sorted(
+        phases.items(),
+        key=lambda item: (-item[1].get("seconds", 0.0), item[0]),
+    )
+    for phase, entry in ordered:
+        seconds = entry.get("seconds", 0.0)
+        share = seconds / total if total else 0.0
+        row = (
+            f"{phase:<18}{_fmt_seconds(seconds):>11}"
+            f"{entry.get('calls', 0):>10}{share:>8.1%}"
+        )
+        if track_alloc:
+            row += f"{entry.get('alloc_bytes', 0):>11}B"
+        lines.append(row)
     return "\n".join(lines)
 
 

@@ -1,0 +1,183 @@
+"""A zero-dependency HTTP exporter for live metric and profile scraping.
+
+Long-running simulations (the swarm harness, soak runs of the benchmark
+suite) accumulate counters, histograms, and phase ledgers that until now
+could only be inspected post-mortem from a written snapshot.  This module
+serves them live over plain ``http.server`` — no third-party client
+libraries, matching the repo's no-new-dependencies rule — so a Prometheus
+scraper, ``curl``, or a browser can watch a run in flight.
+
+Endpoints
+---------
+
+``/metrics``
+    Prometheus text exposition (version 0.0.4) of the default registry,
+    followed by per-phase profiler series when a profiler is installed:
+    ``repro_phase_self_seconds{phase="..."}``,
+    ``repro_phase_calls_total{phase="..."}`` and, when allocation
+    tracking is on, ``repro_phase_alloc_bytes{phase="..."}``.
+
+``/snapshot.json``
+    The full :func:`repro.obs.snapshot` dict (series, spans, events) plus
+    a ``"profile"`` section when a profiler is installed, serialized with
+    sorted keys so two scrapes of identical state are byte-identical.
+
+``/profile.folded``
+    Collapsed-stack output of the attached :class:`StackSampler`
+    (speedscope / flamegraph.pl format).  404 when no sampler is
+    attached.
+
+The server runs on a daemon thread and tolerates being shut down while a
+request is in flight: handler threads are daemonic and ``shutdown`` does
+not block on them, so :meth:`ObsServer.close` returns promptly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import obs
+from repro.obs.metrics import escape_label_value
+
+__all__ = ["ObsServer", "render_phase_text", "PROMETHEUS_CONTENT_TYPE"]
+
+# The content type Prometheus' scraper expects for text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def render_phase_text(profile: dict) -> str:
+    """Prometheus text lines for one profiler snapshot's phase ledger."""
+    phases = profile.get("phases") or {}
+    if not phases:
+        return ""
+    lines = ["# TYPE repro_phase_self_seconds gauge"]
+    for phase in sorted(phases):
+        label = f'phase="{escape_label_value(phase)}"'
+        lines.append(
+            f"repro_phase_self_seconds{{{label}}}"
+            f" {phases[phase]['seconds']:.9f}"
+        )
+    lines.append("# TYPE repro_phase_calls_total counter")
+    for phase in sorted(phases):
+        label = f'phase="{escape_label_value(phase)}"'
+        lines.append(
+            f"repro_phase_calls_total{{{label}}} {phases[phase]['calls']}"
+        )
+    if any("alloc_bytes" in entry for entry in phases.values()):
+        lines.append("# TYPE repro_phase_alloc_bytes gauge")
+        for phase in sorted(phases):
+            entry = phases[phase]
+            if "alloc_bytes" in entry:
+                label = f'phase="{escape_label_value(phase)}"'
+                lines.append(
+                    f"repro_phase_alloc_bytes{{{label}}}"
+                    f" {entry['alloc_bytes']}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The server instance injects itself as ``obs_server`` on the class
+    # via a per-server subclass; see ObsServer.__init__.
+    obs_server: "ObsServer"
+
+    # Keep scrapes quiet: BaseHTTPRequestHandler logs to stderr by default.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        path = self.path.partition("?")[0]
+        if path == "/metrics":
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, self.obs_server.metrics_text())
+        elif path == "/snapshot.json":
+            self._reply(
+                200,
+                "application/json; charset=utf-8",
+                self.obs_server.snapshot_json(),
+            )
+        elif path == "/profile.folded":
+            folded = self.obs_server.folded_text()
+            if folded is None:
+                self._reply(404, "text/plain; charset=utf-8", "no sampler attached\n")
+            else:
+                self._reply(200, "text/plain; charset=utf-8", folded)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", "not found\n")
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-reply; nothing to clean up
+
+
+class ObsServer:
+    """Serve the live observability state over HTTP.
+
+    ``port=0`` (the default) binds an ephemeral port; read :attr:`port`
+    after construction.  The serving thread and all handler threads are
+    daemonic, so a process exit never hangs on an open scrape.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        # A per-instance handler subclass so concurrent servers in tests
+        # don't share state through the class attribute.
+        handler = type("_BoundHandler", (_Handler,), {"obs_server": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        # Don't wait for in-flight handler threads at shutdown; close()
+        # must return promptly even mid-request.
+        self._httpd.block_on_close = False
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-obs-serve-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- content builders (separated from HTTP plumbing for testing) -----
+
+    def metrics_text(self) -> str:
+        text = obs.render_text()
+        prof = obs.profiler()
+        if prof is not None:
+            text += render_phase_text(prof.snapshot())
+        return text
+
+    def snapshot_json(self) -> str:
+        snap = obs.snapshot()
+        prof = obs.profiler()
+        if prof is not None:
+            snap["profile"] = prof.snapshot()
+        return json.dumps(snap, sort_keys=True) + "\n"
+
+    def folded_text(self) -> str | None:
+        sampler = getattr(obs, "SAMPLER", None)
+        if sampler is None:
+            return None
+        folded = sampler.folded()
+        return folded + "\n" if folded and not folded.endswith("\n") else folded
+
+    def close(self) -> None:
+        """Stop serving; safe to call with a request in flight."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ObsServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -272,10 +272,19 @@ class BlockStore:
     def append_connect(self, block: Block, height: int, undo: BlockUndo) -> None:
         """Persist one block connect: the block record plus its undo."""
         self._require_open()
-        written = self._append(self._block_log, codec.encode_connect(block, height))
-        written += self._append(
-            self._undo_log, codec.encode_undo_record(block.hash, height, undo)
-        )
+        prof = obs.PROFILER if obs.ENABLED else None
+        if prof is not None:
+            prof.enter("store_append")
+        try:
+            written = self._append(
+                self._block_log, codec.encode_connect(block, height)
+            )
+            written += self._append(
+                self._undo_log, codec.encode_undo_record(block.hash, height, undo)
+            )
+        finally:
+            if prof is not None:
+                prof.exit()
         self._connects_since_snapshot += 1
         if obs.ENABLED:
             obs.inc("store.blocks_appended_total")
@@ -284,9 +293,16 @@ class BlockStore:
     def append_disconnect(self, block_hash: bytes, height: int) -> None:
         """Persist one tip disconnect (reorg rollback marker)."""
         self._require_open()
-        written = self._append(
-            self._block_log, codec.encode_disconnect(block_hash, height)
-        )
+        prof = obs.PROFILER if obs.ENABLED else None
+        if prof is not None:
+            prof.enter("store_append")
+        try:
+            written = self._append(
+                self._block_log, codec.encode_disconnect(block_hash, height)
+            )
+        finally:
+            if prof is not None:
+                prof.exit()
         if obs.ENABLED:
             obs.inc("store.disconnects_appended_total")
             obs.inc("store.bytes_written_total", written)
@@ -305,11 +321,18 @@ class BlockStore:
         lie *after* the newest snapshot's offsets.
         """
         self._require_open()
-        for fh in (self._block_log, self._undo_log):
-            fh.flush()
-            os.fsync(fh.fileno())
-        path = self.snapshot_path(height)
-        size = write_snapshot_file(path, utxos, height, tip)
+        prof = obs.PROFILER if obs.ENABLED else None
+        if prof is not None:
+            prof.enter("store_snapshot")
+        try:
+            for fh in (self._block_log, self._undo_log):
+                fh.flush()
+                os.fsync(fh.fileno())
+            path = self.snapshot_path(height)
+            size = write_snapshot_file(path, utxos, height, tip)
+        finally:
+            if prof is not None:
+                prof.exit()
         previous = self._manifest.get("snapshot") or {}
         self._manifest["version"] = MANIFEST_VERSION
         self._manifest["snapshot"] = {

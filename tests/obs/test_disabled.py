@@ -54,12 +54,24 @@ class PoisonedEventLog(obs.EventLog):
         )
 
 
+class PoisonedProfiler(obs.PhaseProfiler):
+    """Raises on any profile hook — enter/exit or span integration."""
+
+    def _poisoned(self, *args, **kwargs):
+        raise AssertionError(
+            "profiler touched while observability is disabled"
+        )
+
+    enter = exit = span_enter = span_exit = checkpoint = _poisoned
+
+
 @pytest.fixture
 def poisoned():
     obs.disable()
     obs.set_registry(PoisonedRegistry())
     obs.set_tracer(PoisonedTracer())
     obs.set_event_log(PoisonedEventLog())
+    obs.set_profiler(PoisonedProfiler())
 
 
 def test_bitcoin_pipeline_disabled_records_nothing(poisoned):
@@ -134,3 +146,33 @@ def test_regtest_observe_flag_enables():
     obs.disable()
     RegtestNetwork(observe=True)
     assert obs.ENABLED
+
+
+def test_a1_rows_bit_identical_with_profiler_installed_but_disabled(poisoned):
+    """The disabled path is pinned to the PR2 recording: with obs off —
+    even with a (poisoned) profiler installed — the A1 experiment
+    reproduces the exact rows recorded before any profiling existed."""
+    import importlib.util
+    import json
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    baseline_path = root / "BENCH_pr2.json"
+    if not baseline_path.exists():
+        pytest.skip("no recorded baseline in this checkout")
+    recorded = json.loads(baseline_path.read_text())
+    rows = recorded["experiments"]["a1_fork_rate"]["benches"][
+        "bench_a1_fork_rate_vs_latency"
+    ]["extra_info"]["rows"]
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_a1_fork_rate", root / "benchmarks" / "bench_a1_fork_rate.py"
+    )
+    bench = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench)
+
+    for row in rows:
+        fresh = bench.run_with_latency(row["latency"])
+        assert fresh["found"] == row["found"]
+        assert fresh["height"] == row["height"]
+        assert fresh["orphan_rate"] == pytest.approx(row["orphan_rate"])

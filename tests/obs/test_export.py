@@ -80,6 +80,45 @@ class TestQuantileFromCumulative:
         assert 'y_seconds{quantile="0.99"}' in text
 
 
+class TestDegenerateHistograms:
+    """Hand-built or truncated snapshots must render, not crash."""
+
+    def test_empty_pairs_yield_zero(self):
+        assert quantile_from_cumulative(0.5, []) == 0.0
+        assert quantile_from_cumulative(0.99, []) == 0.0
+
+    def test_single_bucket_all_mass(self):
+        # Only an overflow bucket: clamp to 0.0 (no finite edge exists).
+        assert quantile_from_cumulative(0.5, [["+Inf", 7]]) == 0.0
+        # One finite bucket holding everything interpolates within it.
+        assert quantile_from_cumulative(
+            0.5, [[2.0, 10], ["+Inf", 10]]
+        ) == pytest.approx(1.0)
+
+    def test_snapshot_quantiles_tolerates_missing_buckets(self):
+        for degenerate in ({}, {"buckets": []}, {"buckets": None},
+                           {"count": 3, "sum": 1.5}):
+            estimates = snapshot_quantiles(degenerate)
+            assert estimates == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_render_report_tolerates_fieldless_histograms(self):
+        from repro.obs.report import render_report
+
+        snap = {
+            "histograms": {
+                "truncated.seconds": {},           # nothing at all
+                "partial.seconds": {"count": 3},   # no sum/mean/quantiles
+                "single.seconds": {"count": 1, "sum": 0.5, "mean": 0.5,
+                                   "p50": 0.5},    # p95/p99 missing
+            },
+        }
+        text = render_report(snap, title="degenerate")
+        assert "truncated.seconds" in text
+        assert "partial.seconds" in text
+        # Missing quantiles render as placeholders, never KeyError.
+        assert "-" in text
+
+
 class TestChromeTrace:
     def make_spans(self, manual_clock):
         obs.enable()
