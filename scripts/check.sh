@@ -6,9 +6,10 @@
 # (scripts/chaos_smoke.py), --recovery to run the seeded kill-mid-write
 # durability smoke (scripts/recovery_smoke.py), and --monitors to run the
 # chaos profiles under strict runtime invariant monitors
-# (scripts/monitor_smoke.py), and --profile to run the phase-profiling
-# smoke (scripts/profile_smoke.py). Run from anywhere; paths resolve
-# relative to the repo root.
+# (scripts/monitor_smoke.py), --profile to run the phase-profiling
+# smoke (scripts/profile_smoke.py), and --service to run the seeded
+# verification-service chaos smoke (scripts/service_smoke.py). Run from
+# anywhere; paths resolve relative to the repo root.
 set -euo pipefail
 
 run_bench=0
@@ -16,6 +17,7 @@ run_chaos=0
 run_recovery=0
 run_monitors=0
 run_profile=0
+run_service=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
@@ -23,7 +25,8 @@ for arg in "$@"; do
     --recovery) run_recovery=1 ;;
     --monitors) run_monitors=1 ;;
     --profile) run_profile=1 ;;
-    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors] [--profile]" >&2; exit 2 ;;
+    --service) run_service=1 ;;
+    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors] [--profile] [--service]" >&2; exit 2 ;;
   esac
 done
 
@@ -51,6 +54,11 @@ fi
 if [ "$run_monitors" = 1 ]; then
   echo "== monitors: chaos profiles under strict invariant monitors =="
   python scripts/monitor_smoke.py
+fi
+
+if [ "$run_service" = 1 ]; then
+  echo "== service: seeded verification-service chaos smoke =="
+  env -u REPRO_OBS python scripts/service_smoke.py
 fi
 
 if [ "$run_profile" = 1 ]; then

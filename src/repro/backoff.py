@@ -1,0 +1,83 @@
+"""Capped exponential backoff with seeded jitter.
+
+One tiny, dependency-free home for the retry-delay math shared by the
+P2P catch-up sync (:mod:`repro.bitcoin.sync`) and the verification
+service's client (:mod:`repro.service.client`).  Two failure patterns
+motivate it, both surveyed at length for layer-2 Bitcoin protocols:
+
+* **unbounded exponential growth** — a plain ``base * factor**n`` retry
+  schedule quickly grows past any useful timeout, so the sequence is
+  clamped at ``cap``;
+* **retry synchronization** — peers that observed the same failure at
+  the same moment retry in lockstep, re-creating the overload that
+  failed them ("request storms").  Multiplicative jitter drawn from a
+  *seeded* RNG decorrelates them while keeping every run reproducible.
+
+Jitter is multiplicative-around-the-nominal (``delay * U[1-j, 1+j]``)
+rather than AWS-style full jitter (``U[0, delay]``): these delays double
+as *timeouts*, and a near-zero timeout would manufacture spurious
+failures.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["backoff_delay", "backoff_sequence", "derive_rng"]
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float,
+    cap: float,
+    factor: float = 2.0,
+    jitter: float = 0.0,
+    rng: random.Random | None = None,
+) -> float:
+    """The delay (or timeout) to use for retry ``attempt`` (1-based).
+
+    ``min(cap, base * factor**(attempt-1))``, then jittered by a factor
+    drawn uniformly from ``[1 - jitter, 1 + jitter]`` when an ``rng`` is
+    supplied.  The jitter draw happens **only** when both ``jitter > 0``
+    and ``rng`` is given, so jitter-free callers don't perturb any
+    random stream.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt is 1-based, got {attempt}")
+    delay = min(cap, base * factor ** (attempt - 1))
+    if jitter > 0.0 and rng is not None:
+        delay *= rng.uniform(1.0 - jitter, 1.0 + jitter)
+    return delay
+
+
+def backoff_sequence(
+    attempts: int,
+    *,
+    base: float,
+    cap: float,
+    factor: float = 2.0,
+    jitter: float = 0.0,
+    rng: random.Random | None = None,
+) -> list[float]:
+    """The first ``attempts`` delays of one backoff schedule."""
+    return [
+        backoff_delay(
+            n, base=base, cap=cap, factor=factor, jitter=jitter, rng=rng
+        )
+        for n in range(1, attempts + 1)
+    ]
+
+
+def derive_rng(*parts: object) -> random.Random:
+    """A deterministic RNG derived from the given identity parts.
+
+    Seeding goes through a string (``random.seed`` hashes str seeds with
+    SHA-512), **not** a tuple — tuple seeding falls back to ``hash()``,
+    which is randomized per process for strings and would silently break
+    cross-run reproducibility.  Distinct part tuples give decorrelated
+    streams, which is exactly what per-(node, peer) retry jitter needs:
+    every peer backs off on its own schedule, but the same seed always
+    reproduces the same storm.
+    """
+    return random.Random(":".join(repr(part) for part in parts))

@@ -58,6 +58,7 @@ class Simulation:
 
     def __init__(self, seed: int = 0):
         self.now = 0.0
+        self.seed = seed
         self.rng = random.Random(seed)
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0

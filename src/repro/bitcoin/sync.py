@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro import obs
+from repro.backoff import backoff_delay, derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.bitcoin.block import Block
@@ -48,6 +49,8 @@ class SyncConfig:
 
     timeout: float = 30.0  # seconds before a request is presumed lost
     backoff: float = 2.0  # timeout multiplier per retry
+    max_timeout: float = 240.0  # cap on the backed-off timeout
+    jitter: float = 0.2  # ± fraction of timeout, seeded per (node, peer)
     max_retries: int = 4  # attempts per request before the session fails
     max_headers: int = 2000  # hashes per getheaders response
 
@@ -84,6 +87,15 @@ class SyncSession:
         self.peer = peer
         self.reason = reason
         self.config = config
+        # Jitter decorrelates (node, peer) pairs that time out together —
+        # without it, every reconnecting peer re-requests in lockstep and
+        # re-creates the loss burst that failed them.  The stream derives
+        # from the simulation seed and the pair identity, NOT sim.rng:
+        # drawing from the shared stream would perturb every seeded
+        # scenario pinned by the recorded benchmark trajectories.
+        self._backoff_rng = derive_rng(
+            "sync-backoff", node.sim.seed, node.name, peer.name
+        )
         self.done = False
         self.succeeded = False
         self.blocks_fetched = 0
@@ -184,7 +196,14 @@ class SyncSession:
             )
         node.send_to(peer, peer_side, msg="sync")
 
-        timeout = self.config.timeout * self.config.backoff ** (attempt - 1)
+        timeout = backoff_delay(
+            attempt,
+            base=self.config.timeout,
+            cap=self.config.max_timeout,
+            factor=self.config.backoff,
+            jitter=self.config.jitter,
+            rng=self._backoff_rng,
+        )
 
         def on_timeout() -> None:
             if self.done or self._outstanding != req:

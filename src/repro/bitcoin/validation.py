@@ -298,9 +298,25 @@ class ParallelScriptVerifier:
             for tx, items in groups
         ]
         executor = self._ensure_executor()
-        for ok, message in executor.map(_pool_worker, payloads):
-            if not ok:
-                raise ValidationError(message)
+        try:
+            for ok, message in executor.map(_pool_worker, payloads):
+                if not ok:
+                    raise ValidationError(message)
+        except concurrent.futures.process.BrokenProcessPool:
+            # A worker died mid-block (OOM kill, crash, deliberate fault
+            # injection).  The executor is unusable, but the block still
+            # deserves a verdict: discard the pool and re-verify every
+            # group serially in-process.  Script checks are pure, so the
+            # re-run cannot disagree with work the dead pool completed.
+            self._executor = None
+            executor.shutdown(wait=False, cancel_futures=True)
+            if obs.ENABLED:
+                obs.inc("script.pool_broken_total")
+                obs.emit("script.pool_broken", groups=len(groups))
+            for tx, items in groups:
+                ok, message = _verify_job_group(tx, items)
+                if not ok:
+                    raise ValidationError(message)
 
     def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._executor is None:

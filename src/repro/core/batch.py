@@ -20,10 +20,11 @@ Scope notes (documented in DESIGN.md):
 
 from __future__ import annotations
 
-import itertools
+import json
+import os
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import cancel, obs
 from repro.bitcoin.transaction import OutPoint, Transaction
 from repro.core.proofs import (
     decompose_tensor,
@@ -36,8 +37,19 @@ from repro.core.transaction import (
     TypecoinTransaction,
 )
 from repro.core.validate import Ledger
-from repro.core.verifier import ClaimBundle, VerificationError, verify_claim
+from repro.core.verifier import (
+    ClaimBundle,
+    VerificationError,
+    _topological_order,
+    verify_claim,
+)
 from repro.core.wallet import TypecoinClient
+from repro.core.wire import (
+    decode_bundle,
+    decode_transaction,
+    encode_bundle,
+    encode_transaction,
+)
 from repro.crypto.ecdsa import Signature
 from repro.crypto.hashing import hash160, sha256
 from repro.crypto.keys import PrivateKey, PublicKey
@@ -45,7 +57,8 @@ from repro.crypto.secp256k1 import Point
 from repro.lf.basis import Basis
 from repro.logic import proofterms as pt
 from repro.logic.checker import CheckerContext, ProofError, infer
-from repro.logic.encoding import _blob, _uint, encode_prop
+from repro.logic.decoding import Cursor, decode_proof, decode_prop
+from repro.logic.encoding import _blob, _uint, encode_proof, encode_prop
 from repro.logic.propositions import (
     IfProp,
     Lolli,
@@ -135,13 +148,47 @@ class _Resource:
 
 
 class BatchServer:
-    """The §3.2 credential server."""
+    """The §3.2 credential server.
 
-    def __init__(self, net, seed: bytes, ledger: Ledger | None = None):
+    With ``journal_path`` set, every accepted operation appends one JSONL
+    record to a durable journal, and constructing a server over an
+    existing journal *replays* it: deposits and virtual transactions are
+    re-verified from scratch (the journal is trusted for *what* happened,
+    never for *whether it was valid*), while withdrawals re-apply their
+    recorded effects without resubmitting anything to the network — the
+    carrier is already on (or bound for) the chain, so a restart can
+    never discharge the same resource twice.
+    """
+
+    def __init__(
+        self,
+        net,
+        seed: bytes,
+        ledger: Ledger | None = None,
+        journal_path: str | None = None,
+    ):
         self.client = TypecoinClient(net, seed, ledger)
         self._resources: dict[int, _Resource] = {}
         self._vtxs: dict[int, VirtualTransaction] = {}
-        self._ids = itertools.count(1)
+        # Manual id counter (not itertools.count) so journal replay can
+        # reproduce the exact id sequence of the original process.
+        self._next_id = 1
+        self._pending_rebind: tuple[bytes, list] | None = None
+        # payload digest -> vtx id: duplicate notifies collapse (§3.2
+        # "principals ... notify the server" — the notify may be retried).
+        self._seen_payloads: dict[bytes, int] = {}
+        # Carriers recovered from the journal that the fresh wallet client
+        # never tracked; sync() adopts them once confirmed.
+        self._recovered_pending: dict[bytes, TypecoinTransaction] = {}
+        self._journal_path = journal_path
+        self._replaying = False
+        if journal_path is not None and os.path.exists(journal_path):
+            self._replay_journal()
+
+    def _new_id(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
 
     @property
     def net(self):
@@ -171,8 +218,15 @@ class BatchServer:
 
     def _deposit(self, bundle: ClaimBundle, owner: bytes) -> int:
         try:
+            # Replay relaxes ONLY the is-currently-unspent check: the
+            # journal witnessed the outpoint unspent at deposit time, and
+            # the spend that exists now is our own later withdrawal
+            # carrier.  Everything type-level is still re-verified.
             ledger = verify_claim(
-                self.net.chain, bundle, base_ledger=self.client.ledger
+                self.net.chain,
+                bundle,
+                require_unspent=not self._replaying,
+                base_ledger=self.client.ledger,
             )
         except VerificationError as exc:
             raise BatchError(f"deposit rejected: {exc}") from exc
@@ -180,16 +234,25 @@ class BatchServer:
         assert entry is not None
         if entry.principal != self.principal:
             raise BatchError("deposited txout is not locked to the server")
-        # Adopt the verified history into the server's own ledger.
-        for txid, txn in bundle.transactions.items():
+        # Adopt the verified history into the server's own ledger, parents
+        # first — with a fresh ledger (journal replay after a restart) a
+        # child would otherwise fail to re-validate before its ancestors.
+        for txid in _topological_order(bundle.transactions):
             if txid not in self.client.ledger.transactions:
-                self.client.learn(txid, txn)
-        resource_id = next(self._ids)
+                self.client.learn(txid, bundle.transactions[txid])
+        resource_id = self._new_id()
         self._resources[resource_id] = _Resource(
             prop=entry.prop,
             amount=entry.amount,
             owner=owner,
             onchain=bundle.outpoint,
+        )
+        self._journal(
+            {
+                "op": "deposit",
+                "bundle": encode_bundle(bundle).hex(),
+                "owner": owner.hex(),
+            }
         )
         return resource_id
 
@@ -233,6 +296,14 @@ class BatchServer:
     ) -> int:
         if not vtx.inputs:
             raise BatchError("virtual transactions need at least one input")
+        # Duplicate notify: the payload signs the complete operation, so
+        # an identical payload IS the same transaction — re-notifying
+        # (client retry, at-least-once delivery) returns the original id
+        # instead of failing on already-consumed inputs.
+        digest = sha256(vtx.payload())
+        already = self._seen_payloads.get(digest)
+        if already is not None:
+            return already
         if _proof_uses_affine_assert(vtx.proof):
             raise WriteThroughRequired(
                 "affine assert signs a real transaction; write through"
@@ -275,18 +346,34 @@ class BatchServer:
         if not props_equal(consequent, expected):
             raise BatchError("virtual proof produces the wrong resources")
 
-        vtx_id = next(self._ids)
+        vtx_id = self._new_id()
         self._vtxs[vtx_id] = vtx
+        self._seen_payloads[digest] = vtx_id
         for resource_id in vtx.inputs:
             self._resources[resource_id].consumed_by = vtx_id
         for index, out in enumerate(vtx.outputs):
-            new_id = next(self._ids)
+            new_id = self._new_id()
             self._resources[new_id] = _Resource(
                 prop=out.prop,
                 amount=out.amount,
                 owner=out.owner,
                 virtual=(vtx_id, index),
             )
+        self._journal(
+            {
+                "op": "transact",
+                "inputs": list(vtx.inputs),
+                "outputs": [
+                    [encode_prop(out.prop).hex(), out.amount, out.owner.hex()]
+                    for out in vtx.outputs
+                ],
+                "proof": encode_proof(vtx.proof).hex(),
+                "auth": {
+                    owner.hex(): [pub.hex(), sig.hex()]
+                    for owner, (pub, sig) in authorizations.items()
+                },
+            }
+        )
         return vtx_id
 
     def _check_authorization(
@@ -316,7 +403,11 @@ class BatchServer:
     # -- withdrawal --------------------------------------------------------
 
     def withdraw(
-        self, resource_id: int, recipient_pubkey: bytes, fee: int = 10_000
+        self,
+        resource_id: int,
+        recipient_pubkey: bytes,
+        fee: int = 10_000,
+        deadline: cancel.Deadline | None = None,
     ) -> Transaction:
         """Materialize a held resource on-chain (§3.2).
 
@@ -324,15 +415,29 @@ class BatchServer:
         txout backing the affected virtual history, routes the withdrawn
         resource to ``recipient_pubkey``, the other live resources back to
         the server's key, and submits it.  Returns the carrier.
+
+        ``deadline`` bounds the operation: an expired deadline — on
+        entry, or after proof composition but *before* submission — is
+        refused with :class:`~repro.cancel.DeadlineExceeded` and leaves
+        the server's records untouched, so the caller can simply retry.
+        State mutates only after the carrier is handed to the network.
         """
         if obs.ENABLED:
             with obs.trace_span("batch.withdraw", resource=resource_id):
-                return self._withdraw(resource_id, recipient_pubkey, fee)
-        return self._withdraw(resource_id, recipient_pubkey, fee)
+                return self._withdraw(
+                    resource_id, recipient_pubkey, fee, deadline
+                )
+        return self._withdraw(resource_id, recipient_pubkey, fee, deadline)
 
     def _withdraw(
-        self, resource_id: int, recipient_pubkey: bytes, fee: int
+        self,
+        resource_id: int,
+        recipient_pubkey: bytes,
+        fee: int,
+        deadline: cancel.Deadline | None = None,
     ) -> Transaction:
+        if deadline is not None and deadline.expired():
+            raise cancel.DeadlineExceeded("withdrawal deadline already expired")
         target = self._resources.get(resource_id)
         if target is None or target.consumed_by is not None or target.withdrawn:
             raise BatchError("resource is not available for withdrawal")
@@ -359,38 +464,161 @@ class BatchServer:
             )
         proof = self._compose_proof(roots, vtx_order, [resource_id] + live, outputs)
         txn = TypecoinTransaction(Basis(), One(), inputs, outputs, proof)
+        if deadline is not None and deadline.expired():
+            # Refuse *before* submission: nothing has mutated yet, so the
+            # caller can retry with a fresh deadline and identical effect.
+            raise cancel.DeadlineExceeded("withdrawal deadline expired")
         carrier = self.client.submit(txn, fee=fee)
         target.withdrawn = True
         for rid in live:
             # The rest re-enter as fresh on-chain holdings after confirm;
             # callers invoke sync() to rebind them.
             self._resources[rid].withdrawn = True
-        self._pending_rebind = (carrier.txid, [(resource_id, 0)] + [
+        bindings = [(resource_id, 0)] + [
             (rid, idx + 1) for idx, rid in enumerate(live)
-        ])
+        ]
+        self._pending_rebind = (carrier.txid, bindings)
+        self._journal(
+            {
+                "op": "withdraw",
+                "resource": resource_id,
+                "live": live,
+                "carrier": carrier.txid.hex(),
+                "txn": encode_transaction(txn).hex(),
+                "bindings": [[rid, idx] for rid, idx in bindings],
+            }
+        )
         return carrier
 
     def sync(self) -> None:
         """Register confirmed submissions; rebind surviving resources to
         their new on-chain outpoints."""
         registered = set(self.client.sync())
-        pending = getattr(self, "_pending_rebind", None)
+        # Carriers recovered from the journal were submitted by a previous
+        # process, so the fresh wallet's pending set never saw them: watch
+        # the chain directly and adopt each once it confirms.
+        for carrier_txid in list(self._recovered_pending):
+            if self.net.chain.confirmations(carrier_txid) >= 1:
+                txn = self._recovered_pending.pop(carrier_txid)
+                if carrier_txid not in self.client.ledger.transactions:
+                    self.client.learn(carrier_txid, txn)
+                registered.add(carrier_txid)
+        pending = self._pending_rebind
         if pending and pending[0] in registered:
             carrier_txid, bindings = pending
-            for rid, output_index in bindings:
-                if output_index == 0:
-                    continue  # withdrawn to its owner; it left the server
-                resource = self._resources[rid]
-                # The rest routed back to the server's key: resurrect each
-                # as a fresh on-chain holding for the same beneficial owner.
-                new_id = next(self._ids)
-                self._resources[new_id] = _Resource(
-                    prop=resource.prop,
-                    amount=resource.amount,
-                    owner=resource.owner,
-                    onchain=OutPoint(carrier_txid, output_index),
+            self._apply_rebind(carrier_txid, bindings)
+            # The rebind itself must be journaled: a replay that re-applied
+            # the withdraw but not this step would rebind *again* on its
+            # first sync, duplicating every surviving resource.
+            self._journal({"op": "rebind", "carrier": carrier_txid.hex()})
+
+    def _apply_rebind(self, carrier_txid: bytes, bindings: list) -> None:
+        for rid, output_index in bindings:
+            if output_index == 0:
+                continue  # withdrawn to its owner; it left the server
+            resource = self._resources[rid]
+            # The rest routed back to the server's key: resurrect each
+            # as a fresh on-chain holding for the same beneficial owner.
+            new_id = self._new_id()
+            self._resources[new_id] = _Resource(
+                prop=resource.prop,
+                amount=resource.amount,
+                owner=resource.owner,
+                onchain=OutPoint(carrier_txid, output_index),
+            )
+        self._pending_rebind = None
+
+    # -- durability ----------------------------------------------------------
+
+    def _journal(self, record: dict) -> None:
+        if self._journal_path is None or self._replaying:
+            return
+        with open(self._journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _replay_journal(self) -> None:
+        """Rebuild server state from the journal (constructor path).
+
+        Deposits and virtual transactions run back through the normal
+        verification entry points — the journal records *what* was asked,
+        and every record must still prove itself against the chain and the
+        checker.  Withdrawals are different: their carrier was already
+        submitted, so replay re-applies the recorded effects (mark
+        withdrawn, stage the rebind) without submitting anything, which is
+        what makes a crash-restart unable to discharge a resource twice.
+        """
+        self._replaying = True
+        try:
+            with open(self._journal_path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail: the process died mid-append
+                self._apply_journal(record)
+        finally:
+            self._replaying = False
+
+    def _apply_journal(self, record: dict) -> None:
+        op = record["op"]
+        if op == "deposit":
+            self._deposit(
+                decode_bundle(bytes.fromhex(record["bundle"])),
+                bytes.fromhex(record["owner"]),
+            )
+        elif op == "transact":
+            outputs = [
+                VirtualOutput(
+                    decode_prop(Cursor(bytes.fromhex(prop_hex))),
+                    amount,
+                    bytes.fromhex(owner_hex),
                 )
-            self._pending_rebind = None
+                for prop_hex, amount, owner_hex in record["outputs"]
+            ]
+            vtx = VirtualTransaction(
+                record["inputs"],
+                outputs,
+                decode_proof(Cursor(bytes.fromhex(record["proof"]))),
+            )
+            auths = {
+                bytes.fromhex(owner_hex): (
+                    bytes.fromhex(pub_hex),
+                    bytes.fromhex(sig_hex),
+                )
+                for owner_hex, (pub_hex, sig_hex) in record["auth"].items()
+            }
+            self._transact(vtx, auths)
+        elif op == "withdraw":
+            carrier_txid = bytes.fromhex(record["carrier"])
+            self._resources[record["resource"]].withdrawn = True
+            for rid in record["live"]:
+                self._resources[rid].withdrawn = True
+            self._pending_rebind = (
+                carrier_txid,
+                [(rid, idx) for rid, idx in record["bindings"]],
+            )
+            # Decoded, not resubmitted: sync() adopts it once confirmed.
+            self._recovered_pending[carrier_txid] = decode_transaction(
+                bytes.fromhex(record["txn"])
+            )
+        elif op == "rebind":
+            carrier_txid = bytes.fromhex(record["carrier"])
+            txn = self._recovered_pending.pop(carrier_txid, None)
+            if txn is not None and (
+                carrier_txid not in self.client.ledger.transactions
+            ):
+                self.client.learn(carrier_txid, txn)
+            pending = self._pending_rebind
+            if pending and pending[0] == carrier_txid:
+                self._apply_rebind(carrier_txid, pending[1])
+        else:  # pragma: no cover - future-proofing
+            raise BatchError(f"unknown journal record {op!r}")
 
     # -- internals -----------------------------------------------------------
 

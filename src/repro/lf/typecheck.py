@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import cancel, obs
 from repro.lf.basis import Basis, BasisError, KindDecl, NAT_T, PRINCIPAL_T, TypeDecl
 from repro.lf.normalize import families_equal, normalize_family
 from repro.lf.syntax import (
@@ -78,6 +78,12 @@ def check_kind(basis: Basis, ctx: LFContext, kind: KindT) -> None:
 
 def infer_kind(basis: Basis, ctx: LFContext, family: TypeFamily) -> KindT:
     """Judgement Σ;Ψ ⊢ τ : k (kind synthesis)."""
+    if cancel.ACTIVE:
+        # Cooperative cancellation: a service-installed deadline can
+        # interrupt kind synthesis between recursion steps.  Raises
+        # DeadlineExceeded, which is NOT an LFTypeError — expiry is an
+        # infrastructure outcome, never a typing verdict.
+        cancel.checkpoint()
     prof = obs.PROFILER if obs.ENABLED else None
     if prof is not None:
         prof.enter("lf_typecheck")
@@ -124,6 +130,8 @@ def check_family_is_type(basis: Basis, ctx: LFContext, family: TypeFamily) -> No
 
 def infer_type(basis: Basis, ctx: LFContext, term: Term) -> TypeFamily:
     """Judgement Σ;Ψ ⊢ m : τ (type synthesis)."""
+    if cancel.ACTIVE:
+        cancel.checkpoint()
     prof = None
     if obs.ENABLED:
         obs.inc("lf.typecheck_total")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro import obs
+from repro import cancel, obs
 from repro.crypto.ecdsa import Signature, verify as ecdsa_verify
 from repro.crypto.hashing import hash160, sha256
 from repro.crypto.secp256k1 import Point
@@ -123,11 +123,40 @@ def persistent_assert_payload(prop: Proposition) -> bytes:
     return PERSISTENT_ASSERT_TAG + encode_prop(normalize_prop(prop))
 
 
+# Installed by the verification service (repro.service.cache): a bounded
+# LRU over affirmation-signature verification results — the sigcache
+# pattern applied to the proof checker's hottest leaf.  The result is a
+# pure function of the key (principal, pubkey, payload digest, signature),
+# so caching it is sound.  ``None`` (the default, and the state the whole
+# non-service pipeline runs in) verifies directly.
+AFFIRMATION_CACHE = None
+
+
 def verify_affirmation(
     principal: PrincipalLit, payload: bytes, affirmation: Affirmation
 ) -> bool:
     """Check that the affirmation's key hashes to the principal and signs
     the payload."""
+    cache = AFFIRMATION_CACHE
+    if cache is None:
+        return _verify_affirmation(principal, payload, affirmation)
+    key = (
+        principal.key_hash,
+        affirmation.pubkey,
+        sha256(payload),
+        affirmation.signature,
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    result = _verify_affirmation(principal, payload, affirmation)
+    cache.put(key, result)
+    return result
+
+
+def _verify_affirmation(
+    principal: PrincipalLit, payload: bytes, affirmation: Affirmation
+) -> bool:
     if hash160(affirmation.pubkey) != principal.key_hash:
         return False
     try:
@@ -272,6 +301,12 @@ def _disjoint(*sets: Used) -> Used:
 
 def infer(ctx: CheckerContext, term: ProofTerm) -> tuple[Proposition, Used]:
     """The judgement T;Σ;Ψ;Γ;Δ ⊢ M : A, synthesizing A and the consumed set."""
+    if cancel.ACTIVE:
+        # Cooperative cancellation between proof nodes: an expired
+        # service deadline raises DeadlineExceeded here, which is NOT a
+        # ProofError — it unwinds through the validation stack as an
+        # infrastructure timeout, never as a proof verdict.
+        cancel.checkpoint()
     prof = None
     if obs.ENABLED:
         obs.inc("proof.nodes_total")

@@ -31,6 +31,7 @@ __all__ = [
     "SUPPORTED_EVENT_SCHEMA_VERSIONS",
     "EVENT_KINDS",
     "EVENT_KINDS_SINCE_V2",
+    "EVENT_KINDS_SINCE_V3",
     "Event",
     "EventLog",
     "EventSchemaError",
@@ -39,9 +40,11 @@ __all__ = [
 
 # Bump when the envelope or a kind's required fields change shape.
 # v2 added the swarm-telemetry kinds (relay.hop, monitor.violation,
-# node.crash); the envelope is unchanged, so v1 dumps still validate.
-EVENT_SCHEMA_VERSION = 2
-SUPPORTED_EVENT_SCHEMA_VERSIONS = (1, 2)
+# node.crash); v3 added the verification-service kinds (service.*,
+# script.pool_broken).  The envelope is unchanged throughout, so v1 and
+# v2 dumps still validate.
+EVENT_SCHEMA_VERSION = 3
+SUPPORTED_EVENT_SCHEMA_VERSIONS = (1, 2, 3)
 
 # kind -> required payload field names.  Emitting an unknown kind or
 # omitting a required field raises immediately: a typo at a call site
@@ -96,6 +99,22 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "node.crash": ("node", "open_spans"),
     # Supply-inflation fault injection (monitor acceptance scenario).
     "fault.inflation": ("node", "amount"),
+    # --- schema v3: fault-tolerant verification service ---
+    # One request's terminal verdict (the full status set is documented
+    # in docs/service.md: ok/invalid/timeout/overloaded/draining/error).
+    "service.verdict": ("status", "degraded"),
+    # The circuit breaker changed state (closed/open/half_open).
+    "service.breaker_transition": ("state",),
+    # The worker pool died and was respawned; `pending` jobs re-dispatch.
+    "service.pool_respawn": ("pending",),
+    # A memoized typecheck entry failed its digest check and was evicted.
+    "service.poison_rejected": ("txid",),
+    # Admission control refused a request (queue full / draining).
+    "service.shed": ("inflight", "reason"),
+    # A request was served on the degraded (serial, cache-off) path.
+    "service.degraded": ("reason",),
+    # The block-connect script pool broke; verification fell back serial.
+    "script.pool_broken": ("groups",),
 }
 
 # Kinds that did not exist before schema v2: a v1 event claiming one of
@@ -103,6 +122,19 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
 # can flag a corrupted or hand-edited dump early.
 EVENT_KINDS_SINCE_V2 = frozenset(
     {"relay.hop", "monitor.violation", "node.crash", "fault.inflation"}
+)
+
+# Likewise for schema v3 (the verification-service kinds).
+EVENT_KINDS_SINCE_V3 = frozenset(
+    {
+        "service.verdict",
+        "service.breaker_transition",
+        "service.pool_respawn",
+        "service.poison_rejected",
+        "service.shed",
+        "service.degraded",
+        "script.pool_broken",
+    }
 )
 
 
@@ -178,6 +210,11 @@ def validate_event(obj: dict) -> None:
     if obj["v"] < 2 and kind in EVENT_KINDS_SINCE_V2:
         raise EventSchemaError(
             f"kind {kind!r} was introduced in schema v2 "
+            f"but the event claims v{obj['v']}"
+        )
+    if obj["v"] < 3 and kind in EVENT_KINDS_SINCE_V3:
+        raise EventSchemaError(
+            f"kind {kind!r} was introduced in schema v3 "
             f"but the event claims v{obj['v']}"
         )
     data = obj["data"]

@@ -68,6 +68,7 @@ PHASES: tuple[tuple[str, str], ...] = (
     ("logic_check", "affine proof checking"),
     ("core_verify", "claim verification incl. upstream-set walks"),
     ("core_batch", "batch-mode upstream-set checks and composition"),
+    ("service", "verification-service orchestration (admission, fan-out)"),
     ("other", "spans outside the taxonomy"),
 )
 
@@ -90,6 +91,7 @@ _PREFIX_PHASES: dict[str, str] = {
     "verify": "core_verify",
     "proof": "logic_check",
     "lf": "lf_typecheck",
+    "service": "service",
 }
 
 

@@ -27,9 +27,18 @@ Endpoints
     (speedscope / flamegraph.pl format).  404 when no sampler is
     attached.
 
-The server runs on a daemon thread and tolerates being shut down while a
-request is in flight: handler threads are daemonic and ``shutdown`` does
-not block on them, so :meth:`ObsServer.close` returns promptly.
+``/healthz``
+    Liveness and readiness as JSON: 200 while serving, 503 once a drain
+    has begun (load balancers stop routing on the flip, in-flight
+    scrapes finish).  An optional ``health_source`` callback (e.g.
+    :meth:`repro.service.VerificationService.health`) merges
+    application-level readiness into the payload — a report of
+    ``ready: false`` also turns the response 503.
+
+The server runs on a daemon thread.  :meth:`ObsServer.close` drains by
+default: requests already being handled are finished (bounded wait)
+while new connections stop being accepted; ``drain=False`` restores the
+old abrupt behavior where handler threads are abandoned mid-reply.
 """
 
 from __future__ import annotations
@@ -88,6 +97,17 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        server = self.obs_server
+        with server._inflight_cv:
+            server._inflight += 1
+        try:
+            self._dispatch()
+        finally:
+            with server._inflight_cv:
+                server._inflight -= 1
+                server._inflight_cv.notify_all()
+
+    def _dispatch(self) -> None:
         path = self.path.partition("?")[0]
         if path == "/metrics":
             self._reply(200, PROMETHEUS_CONTENT_TYPE, self.obs_server.metrics_text())
@@ -103,6 +123,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(404, "text/plain; charset=utf-8", "no sampler attached\n")
             else:
                 self._reply(200, "text/plain; charset=utf-8", folded)
+        elif path == "/healthz":
+            status, body = self.obs_server.healthz()
+            self._reply(status, "application/json; charset=utf-8", body)
         else:
             self._reply(404, "text/plain; charset=utf-8", "not found\n")
 
@@ -126,7 +149,13 @@ class ObsServer:
     daemonic, so a process exit never hangs on an open scrape.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, health_source=None
+    ):
+        self.health_source = health_source
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        self._draining = False
         # A per-instance handler subclass so concurrent servers in tests
         # don't share state through the class attribute.
         handler = type("_BoundHandler", (_Handler,), {"obs_server": self})
@@ -170,9 +199,49 @@ class ObsServer:
         folded = sampler.folded()
         return folded + "\n" if folded and not folded.endswith("\n") else folded
 
-    def close(self) -> None:
-        """Stop serving; safe to call with a request in flight."""
+    def healthz(self) -> tuple[int, str]:
+        """The `/healthz` response: (HTTP status, JSON body).
+
+        Readiness is the conjunction of the exporter's own state (not
+        draining) and whatever the attached ``health_source`` reports;
+        its fields are merged into the payload so one scrape shows both
+        the exporter and the application view.
+        """
+        with self._inflight_cv:
+            payload = {
+                "ready": not self._draining,
+                "draining": self._draining,
+                "inflight": self._inflight,
+            }
+        if self.health_source is not None:
+            app = dict(self.health_source())
+            app_ready = bool(app.pop("ready", True))
+            app.pop("inflight", None)  # the exporter's count wins
+            payload.update(app)
+            payload["ready"] = payload["ready"] and app_ready
+            payload["draining"] = payload["draining"] or app.get(
+                "draining", False
+            )
+        status = 200 if payload["ready"] else 503
+        return status, json.dumps(payload, sort_keys=True) + "\n"
+
+    def close(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop serving; safe to call with a request in flight.
+
+        With ``drain=True`` (the default) the server first flips
+        `/healthz` to 503, stops accepting connections, then waits up to
+        ``timeout`` seconds for requests already being handled to write
+        their replies — a scrape racing the shutdown completes instead
+        of dying on a reset socket.  ``drain=False`` skips the wait.
+        """
+        with self._inflight_cv:
+            self._draining = True
         self._httpd.shutdown()
+        if drain:
+            with self._inflight_cv:
+                self._inflight_cv.wait_for(
+                    lambda: self._inflight == 0, timeout=timeout
+                )
         self._httpd.server_close()
         self._thread.join(timeout=5)
 

@@ -1,0 +1,118 @@
+"""Circuit breaker over the service's worker-pool dependency.
+
+Classic three-state breaker (closed → open → half-open → closed) with an
+injectable monotonic clock so the full cycle pins under a deterministic
+test without any sleeping:
+
+* **closed** — requests flow; consecutive *infrastructure* failures are
+  counted (verdicts, including ``invalid``, never count — a proof being
+  wrong says nothing about the pool's health).
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: the service stops dispatching to the pool and serves
+  requests on the degraded in-process path until ``reset_timeout``
+  elapses.
+* **half-open** — one probe request is allowed through.  Success closes
+  the breaker and resets the count; failure re-opens it for another full
+  cooldown.
+
+Thread-safe; `allow()` is the admission question ("may I use the
+dependency?") and `record_success()` / `record_failure()` are the
+answer's feedback.  Only one caller wins the half-open probe slot at a
+time — concurrent requests during the probe stay on the degraded path
+instead of stampeding a possibly-sick pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+
+__all__ = ["CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        # Lock held.  An open breaker whose cooldown has elapsed reads as
+        # half-open; the transition is committed by the next allow().
+        if self._state == OPEN and self.clock() - self._opened_at >= self.reset_timeout:
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller use the protected dependency right now?"""
+        with self._lock:
+            state = self._peek_state()
+            if state == CLOSED:
+                return True
+            if state == OPEN:
+                return False
+            # Half-open: admit exactly one probe at a time.
+            if self._state == OPEN:
+                self._state = HALF_OPEN
+                self._probe_in_flight = False
+                if obs.ENABLED:
+                    obs.emit("service.breaker_transition", state=HALF_OPEN)
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_in_flight = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                if obs.ENABLED:
+                    obs.emit("service.breaker_transition", state=CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN:
+                # Failed probe: straight back to open for a fresh cooldown.
+                self._trip()
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        # Lock held.
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._failures = 0
+        self.trips += 1
+        if obs.ENABLED:
+            obs.inc("service.breaker_trips_total")
+            obs.emit("service.breaker_transition", state=OPEN)

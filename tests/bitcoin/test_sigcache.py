@@ -212,7 +212,7 @@ def test_checker_surfaces_out_of_range_as_validation_error():
 # ----------------------------------------------------------------------
 
 
-def _run_scenario(verifier=None, cache=None):
+def _run_scenario(verifier=None, cache=None, before_generate=None):
     """A mixed accept/reject scenario; returns every observable verdict."""
     sigcache.set_default_cache(cache)
     net = RegtestNetwork()
@@ -251,6 +251,8 @@ def _run_scenario(verifier=None, cache=None):
         verdicts.append(("accept-bad", bad_tx.txid.hex()))
     except Exception as exc:
         verdicts.append(("reject", str(exc)))
+    if before_generate is not None:
+        before_generate(net)
     blocks = net.generate(1, alice.key_hash)
     verdicts.append(("tip", net.chain.tip.block.hash.hex(), len(blocks[0].txs)))
     if verifier is not None:
@@ -266,3 +268,47 @@ def test_differential_verdicts_cache_and_parallelism():
         verifier=ParallelScriptVerifier(workers=2), cache=SignatureCache()
     )
     assert baseline == cached == evicting == parallel
+
+
+def test_worker_death_mid_block_falls_back_serially():
+    """Killing a pool worker must not change the block verdict.
+
+    The executor breaks between mempool acceptance and block connect; the
+    verifier discards the dead pool, re-verifies every group in-process,
+    and the observable verdicts stay byte-identical to the serial run.
+    """
+    import concurrent.futures.process
+    import os
+
+    from repro import obs
+
+    baseline = _run_scenario(cache=SignatureCache())
+    verifier = ParallelScriptVerifier(workers=2)
+
+    def kill_pool(net):
+        executor = verifier._ensure_executor()
+        try:
+            executor.submit(os._exit, 1).result()
+        except concurrent.futures.process.BrokenProcessPool:
+            pass  # expected: the pill took the pool down
+
+    was_enabled = obs.ENABLED
+    saved_registry = obs.set_registry(obs.Registry())
+    obs.enable()
+    try:
+        broken = _run_scenario(
+            verifier=verifier,
+            cache=SignatureCache(),
+            before_generate=kill_pool,
+        )
+        fallbacks = obs.registry().counter("script.pool_broken_total").value
+    finally:
+        obs.set_registry(saved_registry)
+        obs.ENABLED = was_enabled
+
+    assert broken == baseline
+    assert fallbacks == 1
+    # The verifier is reusable afterwards: the pool respawns on demand.
+    assert _run_scenario(
+        verifier=ParallelScriptVerifier(workers=2), cache=SignatureCache()
+    ) == baseline

@@ -165,8 +165,38 @@ class TestVirtualTransactions:
             proof=LolliIntro("x", vocab.coin_prop(10), PVar("x")),
         )
         server.transact(vtx, {bank.principal: authorize(bank.key, vtx)})
+        # A *different* transaction spending the same held resource is a
+        # double spend.  (Re-notifying the identical one is idempotent;
+        # see test_duplicate_notify_is_idempotent.)
+        rival = VirtualTransaction(
+            inputs=[rid],
+            outputs=[
+                VirtualOutput(vocab.coin_prop(4), 300, bank.principal),
+                VirtualOutput(vocab.coin_prop(6), 300, bank.principal),
+            ],
+            proof=LolliIntro(
+                "x", vocab.coin_prop(10), split_proof(vocab, 4, 6, PVar("x"))
+            ),
+        )
         with pytest.raises(BatchError, match="no longer held"):
-            server.transact(vtx, {bank.principal: authorize(bank.key, vtx)})
+            server.transact(rival, {bank.principal: authorize(bank.key, rival)})
+
+    def test_duplicate_notify_is_idempotent(self, net, bank, server):
+        """At-least-once delivery: re-notifying the identical transaction
+        returns the original id instead of a double-spend failure."""
+        vocab, _, _ = publish_newcoin(net, bank)
+        rid = self.deposited_coin(net, bank, server, vocab, 10, bank.principal)
+        vtx = VirtualTransaction(
+            inputs=[rid],
+            outputs=[VirtualOutput(vocab.coin_prop(10), 600, bank.principal)],
+            proof=LolliIntro("x", vocab.coin_prop(10), PVar("x")),
+        )
+        auth = {bank.principal: authorize(bank.key, vtx)}
+        first = server.transact(vtx, auth)
+        assert server.transact(vtx, auth) == first
+        # Exactly one spend happened: the input is consumed once, the
+        # output set was created once.
+        assert len(server.holdings_of(bank.principal)) == 1
 
 
 class TestWithdraw:
@@ -250,3 +280,102 @@ class TestWithdraw:
         rid = server.deposit(bundle, owner=bank.principal)
         with pytest.raises(BatchError, match="does not match the owner"):
             server.withdraw(rid, alice.pubkey)
+
+
+class TestJournal:
+    """Durable journal: crash-restart recovery without double-discharge."""
+
+    def _journaled_world(self, net, bank, journal):
+        from repro.core.validate import Ledger
+
+        server = BatchServer(
+            net, b"batch-server", Ledger(), journal_path=str(journal)
+        )
+        net.fund_wallet(server.client.wallet)
+        vocab, _, _ = publish_newcoin(net, bank)
+        outpoint, _ = issue_to(net, bank, vocab, 10, server.pubkey, sats=1200)
+        bundle = bank.claim_bundle(outpoint, vocab.coin_prop(10))
+        rid = server.deposit(bundle, owner=bank.principal)
+        vtx = VirtualTransaction(
+            inputs=[rid],
+            outputs=[
+                VirtualOutput(vocab.coin_prop(4), 600, bank.principal),
+                VirtualOutput(vocab.coin_prop(6), 600, bank.principal),
+            ],
+            proof=LolliIntro(
+                "x", vocab.coin_prop(10), split_proof(vocab, 4, 6, PVar("x"))
+            ),
+        )
+        server.transact(vtx, {bank.principal: authorize(bank.key, vtx)})
+        return server, vocab
+
+    def test_expired_deadline_refuses_withdrawal_without_state_change(
+        self, net, bank, tmp_path
+    ):
+        from repro import cancel
+
+        server, _ = self._journaled_world(net, bank, tmp_path / "j.jsonl")
+        target = sorted(server.holdings_of(bank.principal))[0]
+        journal_len = (tmp_path / "j.jsonl").read_text().count("\n")
+        with pytest.raises(cancel.DeadlineExceeded):
+            server.withdraw(
+                target, bank.pubkey, deadline=cancel.Deadline.after(-1.0)
+            )
+        # Nothing mutated, nothing journaled: the resource is still held
+        # and a later (undeadlined) withdrawal succeeds.
+        assert server.query(target) is not None
+        assert (tmp_path / "j.jsonl").read_text().count("\n") == journal_len
+        assert server.withdraw(target, bank.pubkey) is not None
+
+    def test_restart_replays_without_double_discharge(
+        self, net, bank, tmp_path
+    ):
+        from repro.core.validate import Ledger
+
+        journal = tmp_path / "j.jsonl"
+        server, vocab = self._journaled_world(net, bank, journal)
+        target = sorted(server.holdings_of(bank.principal))[0]
+        server.withdraw(target, bank.pubkey)
+
+        # Crash BEFORE the carrier confirms: the restarted server knows
+        # the resource was withdrawn and must not re-submit the carrier.
+        restarted = BatchServer(
+            net, b"batch-server", Ledger(), journal_path=str(journal)
+        )
+        assert restarted.query(target) is None
+        net.confirm(1)
+        restarted.sync()  # adopts the carrier, rebinds the survivor
+        holdings = restarted.holdings_of(bank.principal)
+        assert len(holdings) == 1
+        assert props_equal(
+            next(iter(holdings.values())).prop, vocab.coin_prop(6)
+        )
+        with pytest.raises(BatchError):
+            restarted.withdraw(target, bank.pubkey)  # no double-discharge
+        resource_count = len(restarted._resources)
+        restarted.sync()  # idempotent: no duplicate rebind
+        assert len(restarted._resources) == resource_count
+
+        # Crash AFTER the sync: the rebind record replays to the same state.
+        again = BatchServer(
+            net, b"batch-server", Ledger(), journal_path=str(journal)
+        )
+        assert sorted(again.holdings_of(bank.principal)) == sorted(holdings)
+        assert not again._recovered_pending
+        assert again._pending_rebind is None
+        assert again._next_id == restarted._next_id
+        again.sync()
+        assert sorted(again.holdings_of(bank.principal)) == sorted(holdings)
+
+    def test_torn_journal_tail_is_tolerated(self, net, bank, tmp_path):
+        from repro.core.validate import Ledger
+
+        journal = tmp_path / "j.jsonl"
+        server, _ = self._journaled_world(net, bank, journal)
+        expected = sorted(server.holdings_of(bank.principal))
+        with open(journal, "a") as fh:
+            fh.write('{"op": "tran')  # crash mid-append
+        restarted = BatchServer(
+            net, b"batch-server", Ledger(), journal_path=str(journal)
+        )
+        assert sorted(restarted.holdings_of(bank.principal)) == expected

@@ -78,11 +78,12 @@ class TestRunBench:
 
 
 class TestRunnerDiscovery:
-    def test_discovers_all_seventeen_experiments(self):
+    def test_discovers_all_eighteen_experiments(self):
         names = runner.discover_experiments()
-        assert len(names) == 17
+        assert len(names) == 18
         assert all(name.startswith("bench_") for name in names)
         assert "bench_e6_verifier_scaling" in names
+        assert "bench_e10_service" in names
         assert "bench_a2_chaos_convergence" in names
         assert "bench_a3_propagation" in names
         assert "bench_b1_verify_throughput" in names

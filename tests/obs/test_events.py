@@ -181,9 +181,9 @@ class TestValidateEvent:
 class TestSchemaV2:
     """The v2 bump: new swarm-telemetry kinds, v1 events still accepted."""
 
-    def test_current_version_is_two(self):
-        assert EVENT_SCHEMA_VERSION == 2
-        assert SUPPORTED_EVENT_SCHEMA_VERSIONS == (1, 2)
+    def test_current_version_is_three(self):
+        assert EVENT_SCHEMA_VERSION == 3
+        assert SUPPORTED_EVENT_SCHEMA_VERSIONS == (1, 2, 3)
 
     def test_v1_event_still_validates(self):
         # An event written by a pre-PR-6 run must keep round-tripping.
@@ -213,7 +213,7 @@ class TestSchemaV2:
         log.emit(kind, **payload)
         parsed = json.loads(log.to_jsonl().strip())
         validate_event(parsed)
-        assert parsed["v"] == 2
+        assert parsed["v"] == EVENT_SCHEMA_VERSION
         assert parsed["data"] == payload
 
     def test_new_kinds_reject_v1(self):
@@ -229,6 +229,51 @@ class TestSchemaV2:
         }
         with pytest.raises(EventSchemaError, match="introduced in"):
             validate_event(event)
+
+
+class TestSchemaV3:
+    """The v3 bump: verification-service kinds, older events accepted."""
+
+    @pytest.mark.parametrize(
+        "kind, payload",
+        [
+            ("service.verdict", {"status": "ok", "degraded": False}),
+            ("service.breaker_transition", {"state": "open"}),
+            ("service.pool_respawn", {"pending": 3}),
+            ("service.poison_rejected", {"txid": "aabbccdd"}),
+            ("service.shed", {"inflight": 4, "reason": "overloaded"}),
+            ("service.degraded", {"reason": "breaker_open"}),
+            ("script.pool_broken", {"groups": 7}),
+        ],
+    )
+    def test_new_kinds_round_trip(self, kind, payload):
+        log = EventLog()
+        log.emit(kind, **payload)
+        parsed = json.loads(log.to_jsonl().strip())
+        validate_event(parsed)
+        assert parsed["v"] == 3
+        assert parsed["data"] == payload
+
+    def test_new_kinds_reject_v2(self):
+        event = {
+            "v": 2,
+            "seq": 0,
+            "ts": 0.0,
+            "kind": "service.verdict",
+            "data": {"status": "ok", "degraded": False},
+        }
+        with pytest.raises(EventSchemaError, match="introduced in schema v3"):
+            validate_event(event)
+
+    def test_v2_event_still_validates(self):
+        validate_event({
+            "v": 2,
+            "seq": 1,
+            "ts": 0.5,
+            "kind": "relay.hop",
+            "data": {"trace": "t", "from": "a", "to": "b",
+                     "hop": 0, "sim_time": 0.0},
+        })
 
 
 class TestObsIntegration:

@@ -171,3 +171,79 @@ class TestLifecycle:
             assert json.loads(_get(a, "/snapshot.json").read()) == json.loads(
                 _get(b, "/snapshot.json").read()
             )
+
+
+class TestHealthz:
+    def test_ready_while_serving(self, server):
+        response = _get(server, "/healthz")
+        assert response.status == 200
+        payload = json.loads(response.read())
+        assert payload["ready"] is True
+        assert payload["draining"] is False
+        # This very request is the one in flight.
+        assert payload["inflight"] >= 1
+
+    def test_health_source_fields_merge_and_gate_readiness(self):
+        obs.enable()
+        state = {"ready": True, "breaker": "closed"}
+        with ObsServer(health_source=lambda: dict(state)) as srv:
+            payload = json.loads(_get(srv, "/healthz").read())
+            assert payload["breaker"] == "closed"
+            assert payload["ready"] is True
+            state["ready"] = False
+            state["breaker"] = "open"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(srv, "/healthz")
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["breaker"] == "open"
+            assert payload["ready"] is False
+            # The exporter itself is fine: only the app gated readiness.
+            assert payload["draining"] is False
+
+    def test_draining_exporter_reports_not_ready(self):
+        obs.enable()
+        srv = ObsServer()
+        try:
+            with srv._inflight_cv:
+                srv._draining = True
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(srv, "/healthz")
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read())["draining"] is True
+        finally:
+            srv.close(drain=False)
+
+    def test_drain_waits_for_inflight_request(self):
+        """A scrape racing close() completes instead of dying on a reset
+        socket: close() blocks until the gated handler writes its reply."""
+        obs.enable()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated_source():
+            entered.set()
+            assert release.wait(timeout=10)
+            return {"ready": True}
+
+        srv = ObsServer(health_source=gated_source)
+        result = {}
+
+        def scrape():
+            try:
+                result["payload"] = json.loads(_get(srv, "/healthz").read())
+            except urllib.error.HTTPError as exc:  # 503 is still a reply
+                result["payload"] = json.loads(exc.read())
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        assert entered.wait(timeout=10)  # handler is now mid-request
+        closer = threading.Thread(target=srv.close)
+        closer.start()
+        closer.join(timeout=0.3)
+        assert closer.is_alive(), "close() must drain, not abandon"
+        release.set()
+        closer.join(timeout=10)
+        scraper.join(timeout=10)
+        assert not closer.is_alive()
+        assert "payload" in result and "inflight" in result["payload"]

@@ -1,0 +1,59 @@
+"""The shared backoff math: capping, jitter bounds, seeded divergence."""
+
+import pytest
+
+from repro.backoff import backoff_delay, backoff_sequence, derive_rng
+
+
+class TestDelay:
+    def test_doubles_until_cap(self):
+        delays = backoff_sequence(6, base=1.0, cap=10.0)
+        assert delays == [1.0, 2.0, 4.0, 8.0, 10.0, 10.0]
+
+    def test_custom_factor(self):
+        assert backoff_delay(3, base=1.0, cap=100.0, factor=3.0) == 9.0
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0, base=1.0, cap=10.0)
+
+    def test_no_rng_means_no_jitter(self):
+        # jitter requested but no rng supplied: deterministic nominal.
+        assert backoff_delay(2, base=1.0, cap=10.0, jitter=0.5) == 2.0
+
+    def test_jitter_band_is_multiplicative(self):
+        rng = derive_rng("band-test")
+        for attempt in range(1, 8):
+            nominal = min(10.0, 2.0 ** (attempt - 1))
+            delay = backoff_delay(
+                attempt, base=1.0, cap=10.0, jitter=0.25, rng=rng
+            )
+            # Never near-zero (these double as timeouts), never above band.
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+
+class TestDeriveRng:
+    def test_same_parts_same_stream(self):
+        a = derive_rng("x", 1, "peer").random()
+        b = derive_rng("x", 1, "peer").random()
+        assert a == b
+
+    def test_distinct_parts_diverge(self):
+        streams = {
+            derive_rng("x", seed, "peer").random() for seed in range(8)
+        }
+        assert len(streams) == 8
+
+    def test_part_boundaries_matter(self):
+        # ("ab", "c") and ("a", "bc") must not collide into one stream.
+        assert (
+            derive_rng("ab", "c").random() != derive_rng("a", "bc").random()
+        )
+
+    def test_jittered_sequences_from_distinct_seeds_diverge(self):
+        make = lambda seed: backoff_sequence(
+            5, base=1.0, cap=30.0, jitter=0.2,
+            rng=derive_rng("seq", seed),
+        )
+        assert make(0) != make(1)
+        assert make(0) == make(0)

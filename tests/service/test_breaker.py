@@ -1,0 +1,107 @@
+"""The circuit breaker's full cycle, pinned under a manual clock."""
+
+import pytest
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_timeout=5.0, clock=clock)
+
+
+class TestTrip:
+    def test_closed_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never reached 3 in a row
+
+    def test_threshold_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+
+class TestHalfOpen:
+    def _trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_open_rejects_until_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent request: stay degraded
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.allow()  # no probe slot: fully closed
+
+    def test_probe_failure_reopens_for_fresh_cooldown(self, breaker, clock):
+        self._trip(breaker)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        # A fresh full cooldown is needed, not the remainder of the old one.
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_full_cycle_trip_halfopen_close(self, breaker, clock):
+        """The acceptance-criteria cycle in one pass."""
+        self._trip(breaker)  # closed -> open
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN  # open -> half-open
+        assert breaker.allow()
+        breaker.record_success()  # half-open -> closed
+        assert breaker.state == CLOSED
+        assert breaker.trips == 1

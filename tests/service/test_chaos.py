@@ -1,0 +1,59 @@
+"""Seeded service-chaos scenarios: the no-wrong-verdict invariant."""
+
+from repro.bitcoin.faults import (
+    SERVICE_PROFILES,
+    ServiceChaosProfile,
+    run_service_chaos,
+)
+
+
+class TestCalmProfile:
+    def test_every_request_answered_correctly(self):
+        result = run_service_chaos(SERVICE_PROFILES["service-calm"], seed=0)
+        assert result.ok
+        assert result.wrong_verdicts == 0
+        # No faults configured: every request resolves to a verdict.
+        assert result.statuses == {"ok": 9, "invalid": 3}
+        assert result.respawns == 0
+        assert result.shed == 0
+
+    def test_deterministic_per_seed(self):
+        first = run_service_chaos(SERVICE_PROFILES["service-calm"], seed=5)
+        second = run_service_chaos(SERVICE_PROFILES["service-calm"], seed=5)
+        assert first.statuses == second.statuses
+        assert first.wrong_verdicts == second.wrong_verdicts == 0
+
+
+class TestFaultPaths:
+    def test_poisoning_is_rejected_not_believed(self):
+        profile = ServiceChaosProfile(
+            name="poison-only",
+            depth=4,
+            requests=8,
+            workers=0,  # in-process: isolates the memo from pool effects
+            poison_every=2,
+            invalid_every=3,
+        )
+        result = run_service_chaos(profile, seed=0)
+        assert result.ok
+        assert result.wrong_verdicts == 0
+        assert result.poison_rejected > 0
+
+    def test_worker_kills_recovered_without_wrong_verdicts(self):
+        # Poison each round too: without it the memo warms after the
+        # first request and the killed pool would never be exercised.
+        profile = ServiceChaosProfile(
+            name="kill-only",
+            depth=3,
+            requests=3,
+            workers=1,
+            kill_every=1,
+            poison_every=1,
+        )
+        result = run_service_chaos(profile, seed=0)
+        assert result.ok
+        assert result.wrong_verdicts == 0
+        assert result.respawns >= 1
+        # Every request still got a real verdict: the respawn path
+        # answers, it does not shed.
+        assert result.answered == profile.requests

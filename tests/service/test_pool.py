@@ -1,0 +1,125 @@
+"""Worker pool: job flattening, crash recovery, deadline propagation."""
+
+import pytest
+
+from repro import cancel
+from repro.core.validate import world_at
+from repro.core.wire import encode_transaction
+from repro.service.pool import (
+    PoolBroken,
+    WorkerPool,
+    make_job,
+    run_job,
+    spent_atoms,
+)
+
+
+@pytest.fixture(scope="module")
+def jobs(world):
+    """One CheckJob per transaction of the valid bundle, level by level."""
+    net, bundle, _ = world
+    from repro.core.validate import Ledger
+    from repro.core.verifier import _topological_order
+
+    ledger = Ledger()
+    built = []
+    # Parents first, registering as we go, so later jobs resolve inputs.
+    for txid in _topological_order(bundle.transactions):
+        txn = bundle.transactions[txid]
+        _, height = net.chain.get_transaction(txid)
+        job = make_job(
+            txid, txn, encode_transaction(txn), ledger,
+            world_at(net.chain, height),
+        )
+        built.append(job)
+        ledger.register(txid, txn)
+    return built
+
+
+class TestJobs:
+    def test_jobs_pickle(self, jobs):
+        import pickle
+
+        for job in jobs:
+            assert pickle.loads(pickle.dumps(job)).txid == job.txid
+
+    def test_run_job_inline_ok(self, jobs):
+        for job in jobs:
+            result = run_job(job)
+            assert result.status == "ok", result.detail
+
+    def test_run_job_maps_garbage_to_invalid(self, jobs):
+        import dataclasses
+
+        broken = dataclasses.replace(jobs[0], txn_bytes=b"\xff" * 8)
+        assert run_job(broken).status == "invalid"
+
+    def test_run_job_expired_budget_is_timeout(self, jobs):
+        import dataclasses
+
+        broken = dataclasses.replace(jobs[0], budget=-1.0)
+        assert run_job(broken).status == "timeout"
+
+    def test_spent_atoms_on_plain_transfer_is_empty(self, world):
+        _, bundle, _ = world
+        for txn in bundle.transactions.values():
+            assert spent_atoms(txn) == frozenset()
+
+
+class TestWorkerPool:
+    def test_pooled_results_in_submission_order(self, jobs):
+        pool = WorkerPool(workers=2)
+        try:
+            results = pool.run(jobs)
+            assert [r.txid for r in results] == [j.txid for j in jobs]
+            assert all(r.status == "ok" for r in results)
+        finally:
+            pool.close()
+
+    def test_worker_death_respawns_and_completes(self, jobs):
+        pool = WorkerPool(workers=1)
+        try:
+            pool.kill_worker()
+            results = pool.run(jobs)
+            assert all(r.status == "ok" for r in results)
+            assert pool.respawns == 1
+        finally:
+            pool.close()
+
+    def test_exhausted_respawns_raise_pool_broken(self, jobs, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = WorkerPool(workers=1, max_respawns=0)
+
+        class BrokenExecutor:
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("rigged")
+
+            def shutdown(self, **kwargs):
+                pass
+
+        monkeypatch.setattr(
+            pool, "_ensure_executor", lambda: BrokenExecutor()
+        )
+        with pytest.raises(PoolBroken):
+            pool.run(jobs[:1])
+        assert pool.respawns == 1
+
+    def test_deadline_cuts_off_slow_pool(self, jobs):
+        pool = WorkerPool(workers=1)
+        try:
+            pool.slow_worker(delay=5.0)  # straggler occupies the only worker
+            with pytest.raises(cancel.DeadlineExceeded):
+                pool.run(jobs[:1], deadline=cancel.Deadline.after(0.2))
+        finally:
+            pool.close()
+
+    def test_injectors_tolerate_broken_pool(self, jobs):
+        pool = WorkerPool(workers=1)
+        try:
+            pool.kill_worker()
+            pool.slow_worker(0.01)  # no-op, must not raise
+            pool.kill_worker()  # already broken, must not raise
+            assert all(r.status == "ok" for r in pool.run(jobs[:1]))
+        finally:
+            pool.close()
