@@ -20,6 +20,12 @@ python benchmarks/compare.py --check-schema BENCH_*.json
 echo "== bench: self-compare (gate sanity) =="
 python benchmarks/compare.py BENCH_smoke.json BENCH_smoke.json
 
+echo "== bench: b3 block-pipeline gate (2x headline + state identity) =="
+# Full standalone pass of the block-pipeline experiment: its in-bench
+# asserts fail the script if the pipeline-warm connect drops under the 2x
+# acceptance bar or any accelerator configuration diverges in UTXO state.
+python benchmarks/bench_b3_block_pipeline.py
+
 echo "== bench: regression gate vs committed BENCH_pr2.json baseline =="
 # The smoke candidate runs 1 round per bench, so it can only trip the gate
 # by regressing catastrophically (>25% over a full-run baseline); benches

@@ -8,7 +8,9 @@
 # chaos profiles under strict runtime invariant monitors
 # (scripts/monitor_smoke.py), --profile to run the phase-profiling
 # smoke (scripts/profile_smoke.py), and --service to run the seeded
-# verification-service chaos smoke (scripts/service_smoke.py). Run from
+# verification-service chaos smoke (scripts/service_smoke.py), and
+# --pipeline to run the block-pipeline differential smoke
+# (scripts/pipeline_smoke.py). Run from
 # anywhere; paths resolve relative to the repo root.
 set -euo pipefail
 
@@ -18,6 +20,7 @@ run_recovery=0
 run_monitors=0
 run_profile=0
 run_service=0
+run_pipeline=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
@@ -26,7 +29,8 @@ for arg in "$@"; do
     --monitors) run_monitors=1 ;;
     --profile) run_profile=1 ;;
     --service) run_service=1 ;;
-    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors] [--profile] [--service]" >&2; exit 2 ;;
+    --pipeline) run_pipeline=1 ;;
+    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors] [--profile] [--service] [--pipeline]" >&2; exit 2 ;;
   esac
 done
 
@@ -64,6 +68,11 @@ fi
 if [ "$run_profile" = 1 ]; then
   echo "== profile: one profiled A1 run (ledger + folded output) =="
   python scripts/profile_smoke.py
+fi
+
+if [ "$run_pipeline" = 1 ]; then
+  echo "== pipeline: batch ECDSA + UTXO cache differential smoke =="
+  env -u REPRO_OBS python scripts/pipeline_smoke.py
 fi
 
 if [ "$run_bench" = 1 ]; then

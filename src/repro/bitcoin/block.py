@@ -8,6 +8,7 @@ turns the tree into a list by the longest-(work-)branch rule.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, replace
 from functools import cached_property
 
@@ -20,6 +21,10 @@ from repro.crypto.merkle import merkle_root
 MAX_BLOCK_SIZE = 1_000_000
 
 HEADER_SIZE = 80
+
+# The whole 80-byte header in one precompiled struct: version, prev hash,
+# merkle root, timestamp, bits, nonce.
+_HEADER = struct.Struct("<I32s32sIII")
 
 
 @dataclass(frozen=True)
@@ -44,16 +49,25 @@ class BlockHeader:
         )
 
     @staticmethod
-    def parse(data: bytes) -> "BlockHeader":
+    def parse(data) -> "BlockHeader":
+        """Decode the 80 committed bytes (bytes or memoryview) in one
+        struct read; extra bytes after the header are the caller's
+        (``Block.parse`` continues into the transaction list)."""
         if len(data) < HEADER_SIZE:
-            raise ValueError("truncated block header")
+            raise ValueError(
+                f"truncated block header: need {HEADER_SIZE} bytes, "
+                f"have {len(data)}"
+            )
+        version, prev_hash, root, timestamp, bits, nonce = _HEADER.unpack_from(
+            data, 0
+        )
         return BlockHeader(
-            version=int.from_bytes(data[0:4], "little"),
-            prev_hash=data[4:36],
-            merkle_root=data[36:68],
-            timestamp=int.from_bytes(data[68:72], "little"),
-            bits=int.from_bytes(data[72:76], "little"),
-            nonce=int.from_bytes(data[76:80], "little"),
+            version=version,
+            prev_hash=prev_hash,
+            merkle_root=root,
+            timestamp=timestamp,
+            bits=bits,
+            nonce=nonce,
         )
 
     @cached_property
@@ -99,17 +113,32 @@ class Block:
         return bytes(out)
 
     @staticmethod
-    def parse(data: bytes) -> "Block":
+    def parse(data, strict: bool = True) -> "Block":
+        """Parse a full block off a bytes or memoryview buffer.
+
+        One memoryview wraps the buffer and every transaction decodes in
+        place from it — large-block ingest no longer copies each
+        transaction's bytes before parsing them.  Truncation raises
+        :class:`ValueError` with offset context; ``strict`` (the default)
+        also rejects trailing bytes, since every caller frames blocks
+        exactly.
+        """
         prof = obs.PROFILER if obs.ENABLED else None
         if prof is not None:
             prof.enter("parse")
         try:
-            header = BlockHeader.parse(data)
-            count, offset = read_varint(data, HEADER_SIZE)
+            buf = data if isinstance(data, memoryview) else memoryview(data)
+            header = BlockHeader.parse(buf)
+            count, offset = read_varint(buf, HEADER_SIZE)
             txs = []
             for _ in range(count):
-                tx, offset = Transaction.parse_from(data, offset)
+                tx, offset = Transaction.parse_from(buf, offset)
                 txs.append(tx)
+            if strict and offset != len(buf):
+                raise ValueError(
+                    f"trailing bytes after block: parsed {offset} of "
+                    f"{len(buf)}"
+                )
             return Block(header, txs)
         finally:
             if prof is not None:

@@ -7,6 +7,7 @@ displayed byte-reversed as Bitcoin convention dictates.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field, replace
 from functools import cached_property
 
@@ -17,6 +18,12 @@ from repro.crypto.hashing import sha256d
 COIN = 100_000_000  # satoshis per bitcoin
 MAX_MONEY = 21_000_000 * COIN
 SEQUENCE_FINAL = 0xFFFFFFFF
+
+# Precompiled wire-format structs: ``unpack_from`` reads fixed-width
+# fields straight off a bytes or memoryview buffer without slicing.
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_OUTPOINT = struct.Struct("<32sI")
 
 
 def varint(n: int) -> bytes:
@@ -30,16 +37,24 @@ def varint(n: int) -> bytes:
     return b"\xff" + n.to_bytes(8, "little")
 
 
-def read_varint(data: bytes, offset: int) -> tuple[int, int]:
-    """Read a varint at ``offset``; returns (value, new_offset)."""
-    prefix = data[offset]
+def read_varint(data, offset: int) -> tuple[int, int]:
+    """Read a varint at ``offset``; returns (value, new_offset).
+
+    Accepts bytes or memoryview.  Raises :class:`ValueError` with offset
+    context when the buffer ends mid-field (a truncated prefix used to
+    surface as a bare IndexError or, worse, a silent short read).
+    """
+    try:
+        prefix = data[offset]
+    except IndexError:
+        raise ValueError(f"truncated varint at offset {offset}") from None
     if prefix < 0xFD:
         return prefix, offset + 1
-    if prefix == 0xFD:
-        return int.from_bytes(data[offset + 1 : offset + 3], "little"), offset + 3
-    if prefix == 0xFE:
-        return int.from_bytes(data[offset + 1 : offset + 5], "little"), offset + 5
-    return int.from_bytes(data[offset + 1 : offset + 9], "little"), offset + 9
+    width = 2 if prefix == 0xFD else 4 if prefix == 0xFE else 8
+    end = offset + 1 + width
+    if end > len(data):
+        raise ValueError(f"truncated varint at offset {offset}")
+    return int.from_bytes(data[offset + 1 : end], "little"), end
 
 
 @dataclass(frozen=True, order=True)
@@ -130,12 +145,23 @@ class Transaction:
         return bytes(out)
 
     @staticmethod
-    def parse(data: bytes) -> "Transaction":
-        tx, _ = Transaction.parse_from(data, 0)
+    def parse(data, strict: bool = True) -> "Transaction":
+        """Parse one whole transaction.
+
+        ``strict`` (the default) rejects trailing bytes: every caller in
+        the pipeline hands over an exact buffer, so leftovers mean a
+        framing bug upstream, not padding to ignore.
+        """
+        tx, offset = Transaction.parse_from(data, 0)
+        if strict and offset != len(data):
+            raise ValueError(
+                f"trailing bytes after transaction: parsed {offset} of "
+                f"{len(data)}"
+            )
         return tx
 
     @staticmethod
-    def parse_from(data: bytes, start: int) -> "tuple[Transaction, int]":
+    def parse_from(data, start: int) -> "tuple[Transaction, int]":
         """Parse one transaction at ``start``; returns (tx, next_offset)."""
         prof = obs.PROFILER if obs.ENABLED else None
         if prof is not None:
@@ -147,30 +173,58 @@ class Transaction:
                 prof.exit()
 
     @staticmethod
-    def _parse_from(data: bytes, start: int) -> "tuple[Transaction, int]":
-        version = int.from_bytes(data[start : start + 4], "little")
-        n_in, offset = read_varint(data, start + 4)
+    def _parse_from(data, start: int) -> "tuple[Transaction, int]":
+        # Zero-copy decoding: fixed-width fields are unpacked in place
+        # (no per-field slice objects); the only bytes that are copied out
+        # of the buffer are the ones that outlive it — 32-byte txids (the
+        # struct "32s" copy) and script pushes.  Every read is
+        # bounds-checked first: the old slicing parser yielded silent
+        # short values (e.g. a 7-byte txid) on truncated input.
+        buf = data if isinstance(data, memoryview) else memoryview(data)
+        end = len(buf)
+
+        def short(offset: int, what: str) -> ValueError:
+            return ValueError(
+                f"truncated transaction: {what} at offset {offset} "
+                f"(buffer has {end} bytes)"
+            )
+
+        if start + 4 > end:
+            raise short(start, "version")
+        (version,) = _U32.unpack_from(buf, start)
+        n_in, offset = read_varint(buf, start + 4)
         vin = []
         for _ in range(n_in):
-            txid = data[offset : offset + 32]
-            index = int.from_bytes(data[offset + 32 : offset + 36], "little")
+            if offset + 36 > end:
+                raise short(offset, "input outpoint")
+            txid, index = _OUTPOINT.unpack_from(buf, offset)
             offset += 36
-            script_len, offset = read_varint(data, offset)
-            script = Script.parse(data[offset : offset + script_len])
+            script_len, offset = read_varint(buf, offset)
+            if offset + script_len > end:
+                raise short(offset, "input script")
+            script = Script.parse(buf[offset : offset + script_len])
             offset += script_len
-            sequence = int.from_bytes(data[offset : offset + 4], "little")
+            if offset + 4 > end:
+                raise short(offset, "input sequence")
+            (sequence,) = _U32.unpack_from(buf, offset)
             offset += 4
             vin.append(TxIn(OutPoint(txid, index), script, sequence))
-        n_out, offset = read_varint(data, offset)
+        n_out, offset = read_varint(buf, offset)
         vout = []
         for _ in range(n_out):
-            value = int.from_bytes(data[offset : offset + 8], "little", signed=True)
+            if offset + 8 > end:
+                raise short(offset, "output value")
+            (value,) = _I64.unpack_from(buf, offset)
             offset += 8
-            script_len, offset = read_varint(data, offset)
-            script = Script.parse(data[offset : offset + script_len])
+            script_len, offset = read_varint(buf, offset)
+            if offset + script_len > end:
+                raise short(offset, "output script")
+            script = Script.parse(buf[offset : offset + script_len])
             offset += script_len
             vout.append(TxOut(value, script))
-        locktime = int.from_bytes(data[offset : offset + 4], "little")
+        if offset + 4 > end:
+            raise short(offset, "locktime")
+        (locktime,) = _U32.unpack_from(buf, offset)
         tx = Transaction(vin, vout, version=version, locktime=locktime)
         return tx, offset + 4
 

@@ -28,8 +28,18 @@ class UTXOEntry:
     is_coinbase: bool
 
     def serialized_size(self) -> int:
-        """Approximate in-table footprint: outpoint + entry, in bytes."""
-        return 36 + 8 + 4 + 1 + len(self.output.script_pubkey.serialize())
+        """Approximate in-table footprint: outpoint + entry, in bytes.
+
+        Memoized (via ``__dict__``, bypassing the frozen guard) because the
+        set maintains its total size incrementally: every add/remove asks
+        for this, and serializing the script each time would move the cost
+        the incremental total saved right back into the hot path.
+        """
+        size = self.__dict__.get("_size")
+        if size is None:
+            size = 36 + 8 + 4 + 1 + len(self.output.script_pubkey.serialize())
+            self.__dict__["_size"] = size
+        return size
 
 
 @dataclass
@@ -53,6 +63,10 @@ class UTXOSet:
 
     def __init__(self) -> None:
         self._entries: dict[OutPoint, UTXOEntry] = {}
+        # Running total for serialized_size(): maintained on every
+        # mutation so the monitors/benchmarks that sample it per block
+        # pay O(1), not a full-table walk.
+        self._size_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -70,12 +84,15 @@ class UTXOSet:
         if outpoint in self._entries:
             raise ValueError(f"duplicate UTXO {outpoint}")
         self._entries[outpoint] = entry
+        self._size_bytes += entry.serialized_size()
 
     def remove(self, outpoint: OutPoint) -> UTXOEntry:
         try:
-            return self._entries.pop(outpoint)
+            entry = self._entries.pop(outpoint)
         except KeyError:
             raise KeyError(f"spending unknown or spent txout {outpoint}") from None
+        self._size_bytes -= entry.serialized_size()
+        return entry
 
     def apply_transaction(
         self, tx: Transaction, height: int, undo: BlockUndo | None = None
@@ -133,21 +150,38 @@ class UTXOSet:
             # A created output absent from the table means the undo data
             # does not describe this state (corrupt record, wrong block):
             # disconnecting anyway would silently corrupt the set.
-            if self._entries.pop(outpoint, None) is None:
+            if not self._delete_created(outpoint):
                 if obs.ENABLED:
                     obs.inc("utxo.undo_missing_total")
                 raise KeyError(
                     f"undo expected created txout {outpoint} in the set"
                 )
         for spent in reversed(undo.spent):
-            self._entries[spent.outpoint] = spent.entry
+            self._restore_spent(spent.outpoint, spent.entry)
+
+    # The two undo primitives are the seam the write-back cache
+    # (:class:`repro.bitcoin.utxo_cache.UTXOCache`) overrides, so
+    # apply/undo logic lives here exactly once.
+
+    def _delete_created(self, outpoint: OutPoint) -> bool:
+        """Delete a block-created output during undo; False if absent."""
+        entry = self._entries.pop(outpoint, None)
+        if entry is None:
+            return False
+        self._size_bytes -= entry.serialized_size()
+        return True
+
+    def _restore_spent(self, outpoint: OutPoint, entry: UTXOEntry) -> None:
+        """Re-insert a spent output during undo (key known absent)."""
+        self._entries[outpoint] = entry
+        self._size_bytes += entry.serialized_size()
 
     def total_value(self) -> int:
         return sum(e.output.value for e in self._entries.values())
 
     def serialized_size(self) -> int:
-        """Total table footprint in bytes (experiment E4's metric)."""
-        return sum(e.serialized_size() for e in self._entries.values())
+        """Total table footprint in bytes (experiment E4's metric), O(1)."""
+        return self._size_bytes
 
     def count_by_type(self) -> dict[ScriptType, int]:
         """How many table entries each script schema accounts for."""

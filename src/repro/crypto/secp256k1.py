@@ -481,6 +481,25 @@ def _wnaf_signed(k: int, width: int) -> list[int]:
     return _wnaf(k, width)
 
 
+def lift_x(x: int, odd: bool) -> Point | None:
+    """The curve point with x-coordinate ``x`` and the requested y-parity.
+
+    Returns ``None`` when no such point exists (x³ + 7 is a quadratic
+    non-residue — about half of all field elements).  Batch ECDSA
+    verification uses this to reconstruct the full R point from the
+    signature's ``r`` scalar, which only transmits ``x(R) mod n``.
+    """
+    if not 0 <= x < FIELD_PRIME:
+        return None
+    y_sq = (pow(x, 3, FIELD_PRIME) + _B) % FIELD_PRIME
+    y = pow(y_sq, (FIELD_PRIME + 1) // 4, FIELD_PRIME)
+    if y * y % FIELD_PRIME != y_sq:
+        return None
+    if bool(y & 1) != odd:
+        y = FIELD_PRIME - y
+    return _point_unchecked(x, y)
+
+
 def dual_scalar_mult(u1: int, u2: int, q: Point) -> Point:
     """``u1·G + u2·Q`` by GLV-split Strauss/Shamir interleaving.
 
@@ -539,6 +558,124 @@ def dual_scalar_mult(u1: int, u2: int, q: Point) -> Point:
                     x, y, z = 0, 0, 0
                 else:
                     # Inlined Jacobian doubling: the ladder's innermost step.
+                    yy = y * y % p
+                    s = 4 * x * yy % p
+                    m = 3 * x * x % p
+                    x3 = (m * m - 2 * s) % p
+                    y3 = (m * (s - x3) - 8 * yy * yy) % p
+                    z = 2 * y * z % p
+                    x, y = x3, y3
+            for naf, tab in padded:
+                digit = naf[i]
+                if digit:
+                    x, y, z = _madd_digit((x, y, z), tab, digit)
+        return _from_jacobian((x, y, z))
+    finally:
+        if prof is not None:
+            prof.exit()
+
+
+def multi_scalar_mult(terms) -> Point:
+    """``Σ kᵢ·Pᵢ`` over any number of terms in ONE Strauss/Shamir pass.
+
+    The n-scalar generalization of :func:`dual_scalar_mult`: every scalar
+    is GLV-split into two ~128-bit halves, each half becomes a w-NAF
+    stream over its point's odd-multiples table, and all streams share a
+    single ~128-step doubling ladder.  Generator terms are folded into one
+    scalar first (they share the process-wide G / λG tables); tables for
+    points not already in the per-point cache are built in Jacobian form
+    and normalized together with ONE batched field inversion, so the
+    marginal cost of an extra term is additions, not inversions.
+
+    ``terms`` is an iterable of ``(scalar, Point)``; scalars are reduced
+    mod n.  Returns :data:`INFINITY` for an empty or all-zero batch.
+    """
+    gen_k = 0
+    by_point: dict[Point, int] = {}
+    for k, point in terms:
+        k %= CURVE_ORDER
+        if k == 0 or point.is_infinity:
+            continue
+        if point.x == _GX and point.y == _GY:
+            gen_k = (gen_k + k) % CURVE_ORDER
+        else:
+            # Repeated points (one pubkey signing many inputs) fold into a
+            # single term: k₁·P + k₂·P = (k₁+k₂)·P.
+            by_point[point] = (by_point.get(point, 0) + k) % CURVE_ORDER
+    others = [(k, point) for point, k in by_point.items() if k]
+    if not gen_k and not others:
+        return INFINITY
+    prof = None
+    if obs.ENABLED:
+        obs.inc("ecmult.batch_total")
+        obs.inc(
+            "ecmult.batch_terms_total", len(others) + (1 if gen_k else 0)
+        )
+        prof = obs.PROFILER
+        if prof is not None:
+            prof.enter("ecmult")
+    try:
+        streams: list[tuple[list[int], list[tuple[int, int]]]] = []
+        if gen_k:
+            k1, k2 = _glv_split(gen_k)
+            if k1:
+                streams.append(
+                    (_wnaf_signed(k1, _GEN_WNAF_WIDTH), _gen_wnaf_table())
+                )
+            if k2:
+                streams.append(
+                    (_wnaf_signed(k2, _GEN_WNAF_WIDTH), _gen_lambda_wnaf_table())
+                )
+        # Cached tables are reused as-is; tables for new points are built
+        # in Jacobian coordinates and normalized together below — the
+        # whole batch pays one field inversion, not one per point.
+        count = 1 << (_WNAF_WIDTH - 2)
+        tables: list[list[tuple[int, int]] | None] = []
+        pending: list[tuple[int, int, int]] = []
+        for _, point in others:
+            cached = _POINT_TABLE_CACHE.get((point.x, point.y))
+            if cached is not None:
+                tables.append(cached)
+                continue
+            jac = _to_jacobian(point)
+            twice = _jacobian_double(jac)
+            muls = [jac]
+            for _ in range(count - 1):
+                muls.append(_jacobian_add(muls[-1], twice))
+            pending.extend(muls)
+            tables.append(None)
+        if pending:
+            affine = _batch_to_affine(pending)
+            cursor = 0
+            for slot, table in enumerate(tables):
+                if table is None:
+                    tables[slot] = affine[cursor : cursor + count]
+                    cursor += count
+        for (k, _), table in zip(others, tables):
+            assert table is not None
+            k1, k2 = _glv_split(k)
+            if k1:
+                streams.append((_wnaf_signed(k1, _WNAF_WIDTH), table))
+            if k2:
+                lam_table = [
+                    (_BETA * x % FIELD_PRIME, y) for x, y in table
+                ]
+                streams.append((_wnaf_signed(k2, _WNAF_WIDTH), lam_table))
+        if not streams:
+            # Every GLV half reduced to zero (k ≡ 0 splits are filtered
+            # above, so this is unreachable in practice — kept for safety).
+            return INFINITY
+        top = max(len(naf) for naf, _ in streams)
+        padded = [
+            (naf + [0] * (top - len(naf)), tab) for naf, tab in streams
+        ]
+        p = FIELD_PRIME
+        x, y, z = 0, 0, 0
+        for i in range(top - 1, -1, -1):
+            if z:
+                if y == 0:
+                    x, y, z = 0, 0, 0
+                else:
                     yy = y * y % p
                     s = 4 * x * yy % p
                     m = 3 * x * x % p

@@ -1,0 +1,174 @@
+"""Differential tests: batch/cached block connect vs the serial pipeline.
+
+The accelerators (`batch_sig_verify`, `utxo_cache`) must be pure
+speed-ups: identical UTXO state, identical tip, identical first error on
+an invalid block, and identical durable snapshots — everything here
+replays the *same* block sequence through differently-configured chains
+and compares.
+"""
+
+import pytest
+
+from repro.bitcoin import sigcache
+from repro.bitcoin.block import Block, build_block
+from repro.bitcoin.chain import Blockchain, ChainParams
+from repro.bitcoin.regtest import RegtestNetwork
+from repro.bitcoin.script import Script
+from repro.bitcoin.standard import p2pkh_script
+from repro.bitcoin.transaction import COIN, TxOut
+from repro.bitcoin.validation import ValidationError
+from repro.bitcoin.wallet import Wallet
+from repro.crypto import ecdsa
+from repro.store import BlockStore, recover_chain
+
+
+@pytest.fixture(scope="module")
+def block_sequence():
+    """A chain of real P2PKH activity: single- and multi-input spends.
+
+    Built once; every test replays it into fresh chains.  Building it
+    also warms the parity-hint table (the wallet signs in-process), which
+    is exactly the state a validating node is in when a block arrives
+    carrying transactions it already saw in its mempool.
+    """
+    net = RegtestNetwork()
+    alice = Wallet.from_seed(b"batch-alice")
+    bob = Wallet.from_seed(b"batch-bob")
+    net.fund_wallet(alice, blocks=3)
+    for i in range(4):
+        net.send(
+            alice.create_transaction(
+                net.chain,
+                [TxOut(1 * COIN + i, p2pkh_script(bob.key_hash))],
+                fee=1000,
+            )
+        )
+        net.confirm()
+    # Multi-input spend: several signatures in one block, enough to clear
+    # the batch path's serial cutoff.
+    net.send(
+        alice.create_transaction(
+            net.chain, [TxOut(120 * COIN, p2pkh_script(bob.key_hash))], fee=2000
+        )
+    )
+    net.confirm()
+    return net.chain.export_active()
+
+
+CONFIGS = [
+    {},
+    {"batch_sig_verify": True},
+    {"utxo_cache": True},
+    {"batch_sig_verify": True, "utxo_cache": True},
+]
+
+
+def replay(blocks, fresh_sigcache=True, **opts):
+    if fresh_sigcache:
+        sigcache.set_default_cache(sigcache.SignatureCache())
+    chain = Blockchain(ChainParams.regtest(), **opts)
+    for block in blocks:
+        assert chain.add_block(block)
+    return chain
+
+
+def test_state_identical_across_configs(block_sequence):
+    chains = [replay(block_sequence, **opts) for opts in CONFIGS]
+    reference = chains[0]
+    for chain in chains[1:]:
+        assert chain.tip.block.hash == reference.tip.block.hash
+        assert chain.utxos.snapshot() == reference.utxos.snapshot()
+        assert len(chain.utxos) == len(reference.utxos)
+        assert chain.utxos.serialized_size() == reference.utxos.serialized_size()
+
+
+def test_state_identical_with_cold_hints(block_sequence):
+    # No parity hints at all: batch_verify routes every triple through its
+    # serial leaf — still the same state.
+    ecdsa.clear_parity_hints()
+    try:
+        serial = replay(block_sequence)
+        batched = replay(block_sequence, batch_sig_verify=True, utxo_cache=True)
+        assert batched.utxos.snapshot() == serial.utxos.snapshot()
+    finally:
+        ecdsa.clear_parity_hints()
+
+
+def test_batch_path_actually_aggregates(block_sequence, monkeypatch):
+    # With warm hints and a cold sigcache, the multi-signature block must
+    # go through at least one aggregated multi-scalar equation.  A serial
+    # replay first re-warms the hint table (successful verifies record
+    # R-parity), in case an earlier test cleared it.
+    replay(block_sequence)
+    calls = []
+    real = ecdsa.multi_scalar_mult
+
+    def counting(terms):
+        terms = list(terms)
+        calls.append(len(terms))
+        return real(terms)
+
+    monkeypatch.setattr(ecdsa, "multi_scalar_mult", counting)
+    replay(block_sequence, batch_sig_verify=True)
+    assert any(n >= 5 for n in calls), calls  # ≥2 sigs → ≥5 terms
+
+
+def corrupt_last_block(blocks):
+    """Re-mine the final block with one signature bit flipped."""
+    source = blocks[-1]
+    txs = list(source.txs)
+    tx = txs[1]
+    elements = tx.vin[0].script_sig.elements
+    sig = bytearray(elements[0])
+    sig[10] ^= 0x01
+    txs[1] = tx.with_input_script(0, Script([bytes(sig), *elements[1:]]))
+    return txs, source
+
+
+@pytest.mark.parametrize(
+    "opts", CONFIGS[1:], ids=["batch", "cache", "batch+cache"]
+)
+def test_invalid_block_raises_same_error_as_serial(block_sequence, opts):
+    bad_txs, source = corrupt_last_block(block_sequence)
+
+    def attempt(**config):
+        chain = replay(block_sequence[:-1], **config)
+        candidate = build_block(
+            prev_hash=chain.tip.block.hash,
+            txs=bad_txs,
+            timestamp=source.header.timestamp,
+            bits=source.header.bits,
+        )
+        nonce = 0
+        while not candidate.header.meets_target():
+            nonce += 1
+            candidate = Block(candidate.header.with_nonce(nonce), candidate.txs)
+        with pytest.raises(ValidationError) as exc:
+            chain.add_block(candidate)
+        # Rejection must leave the chain at the pre-block state.
+        assert chain.tip.block.hash == block_sequence[-2].hash
+        return str(exc.value)
+
+    assert attempt(**opts) == attempt()
+
+
+def test_durable_snapshot_flushes_cache(tmp_path, block_sequence):
+    # Snapshot every few blocks: the write-back cache must flush first so
+    # the durable snapshot (read from the base set) is complete, and a
+    # recovered chain must match a serially-built one exactly.
+    chain = Blockchain(
+        ChainParams.regtest(), batch_sig_verify=True, utxo_cache=True
+    )
+    store = BlockStore(tmp_path, snapshot_interval=4).open()
+    chain.attach_store(store)
+    for block in block_sequence:
+        chain.add_block(block)
+    store.close()
+
+    recovered = recover_chain(BlockStore(tmp_path).open(), utxo_cache=True)
+    serial = replay(block_sequence)
+    assert recovered.height == serial.height
+    assert recovered.tip.block.hash == serial.tip.block.hash
+    assert recovered.utxos.snapshot() == serial.utxos.snapshot()
+    # And the recovered chain keeps accepting blocks through the cache.
+    assert recovered.utxos.flush() >= 0

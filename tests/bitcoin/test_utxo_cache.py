@@ -1,0 +1,187 @@
+"""Tests for the write-back UTXO cache hierarchy.
+
+The cache must be observationally identical to a plain
+:class:`~repro.bitcoin.utxo.UTXOSet` — same reads, same strict errors,
+same apply/undo round-trips — while the base set only changes at flush.
+"""
+
+import pytest
+
+from repro.bitcoin.standard import p2pkh_script
+from repro.bitcoin.transaction import OutPoint, Transaction, TxIn, TxOut
+from repro.bitcoin.utxo import UTXOEntry, UTXOSet
+from repro.bitcoin.utxo_cache import UTXOCache
+
+
+def entry(value=1000, height=0, tag=1):
+    return UTXOEntry(TxOut(value, p2pkh_script(bytes([tag]) * 20)), height, False)
+
+
+def op(n, index=0):
+    return OutPoint(bytes([n]) * 32, index)
+
+
+def make_cache(base_entries=()):
+    base = UTXOSet()
+    for outpoint, e in base_entries:
+        base.add(outpoint, e)
+    return UTXOCache(base), base
+
+
+def oracle_size(utxos):
+    return sum(e.serialized_size() for _, e in utxos.items())
+
+
+def test_reads_fall_through_to_base():
+    cache, base = make_cache([(op(1), entry(500))])
+    assert op(1) in cache
+    assert cache.get(op(1)).output.value == 500
+    assert len(cache) == 1
+    assert cache.serialized_size() == base.serialized_size()
+
+
+def test_add_is_invisible_to_base_until_flush():
+    cache, base = make_cache()
+    cache.add(op(2), entry(700))
+    assert op(2) in cache and op(2) not in base
+    assert len(cache) == 1 and len(base) == 0
+    assert cache.flush() == 1
+    assert op(2) in base
+    assert base.get(op(2)).output.value == 700
+    assert cache.overlay_len() == 0
+
+
+def test_annihilation_never_touches_base():
+    cache, base = make_cache()
+    cache.add(op(3), entry())
+    cache.remove(op(3))
+    assert op(3) not in cache
+    assert len(cache) == 0
+    assert cache.overlay_len() == 0
+    assert cache.flush() == 0  # nothing survived to write back
+    assert len(base) == 0
+
+
+def test_tombstone_spends_base_entry_at_flush():
+    cache, base = make_cache([(op(4), entry(900))])
+    removed = cache.remove(op(4))
+    assert removed.output.value == 900
+    assert op(4) not in cache
+    assert op(4) in base  # not yet written back
+    cache.flush()
+    assert op(4) not in base
+
+
+def test_recreate_over_tombstone_replaces_at_flush():
+    cache, base = make_cache([(op(5), entry(100, tag=1))])
+    cache.remove(op(5))
+    cache.add(op(5), entry(200, tag=2))
+    assert cache.get(op(5)).output.value == 200
+    cache.flush()
+    assert base.get(op(5)).output.value == 200
+
+
+def test_strict_errors_match_plain_set():
+    cache, _ = make_cache([(op(6), entry())])
+    with pytest.raises(KeyError, match="spending unknown or spent txout"):
+        cache.remove(op(7))
+    cache.remove(op(6))
+    with pytest.raises(KeyError, match="spending unknown or spent txout"):
+        cache.remove(op(6))
+    cache.add(op(8), entry())
+    with pytest.raises(ValueError, match="duplicate"):
+        cache.add(op(8), entry())
+    cache.flush()
+    with pytest.raises(ValueError, match="duplicate"):
+        cache.add(op(8), entry())  # duplicate of a base-resident entry
+
+
+def test_flush_preserves_merged_view_and_sizes():
+    cache, base = make_cache([(op(9), entry(1, tag=3)), (op(10), entry(2))])
+    cache.remove(op(9))
+    cache.add(op(11), entry(3, tag=4))
+    cache.add(op(12), entry(4, tag=5))
+    cache.remove(op(12))  # annihilates
+    before = cache.snapshot()
+    assert cache.serialized_size() == oracle_size(cache)
+    assert len(cache) == len(before)
+    cache.flush()
+    assert cache.snapshot() == before
+    assert base.snapshot() == before
+    assert cache.serialized_size() == oracle_size(cache)
+
+
+def coinbase_tx(tag):
+    return Transaction(
+        vin=[TxIn(OutPoint.null())],
+        vout=[TxOut(5000, p2pkh_script(bytes([tag]) * 20))],
+    )
+
+
+def spend_tx(prevout, n_out=2):
+    return Transaction(
+        vin=[TxIn(prevout)],
+        vout=[TxOut(100, p2pkh_script(bytes([i + 1]) * 20)) for i in range(n_out)],
+    )
+
+
+def test_apply_and_undo_round_trip_matches_plain_set():
+    plain = UTXOSet()
+    cache, _ = make_cache()
+    cb = coinbase_tx(1)
+    spend = spend_tx(cb.outpoint(0))
+    for utxos in (plain, cache):
+        utxos.apply_block_txs([cb], height=1)
+    baseline = plain.snapshot()
+    assert cache.snapshot() == baseline
+    undos = [u.apply_block_txs([spend], height=2) for u in (plain, cache)]
+    assert cache.snapshot() == plain.snapshot()
+    # Flush mid-history, then undo across the flush boundary: the undo
+    # data predates the flush, and must still round-trip exactly.
+    cache.flush()
+    plain.undo_block(undos[0])
+    cache.undo_block(undos[1])
+    assert cache.snapshot() == plain.snapshot() == baseline
+    assert cache.serialized_size() == plain.serialized_size()
+
+
+def test_undo_missing_created_raises_like_plain_set():
+    cache, _ = make_cache()
+    cb = coinbase_tx(2)
+    undo = cache.apply_block_txs([cb], height=1)
+    cache.remove(cb.outpoint(0))  # someone else consumed it
+    with pytest.raises(KeyError, match="undo expected created txout"):
+        cache.undo_block(undo)
+
+
+def test_undo_after_flush_restores_via_overlay():
+    cache, base = make_cache()
+    cb = coinbase_tx(3)
+    cache.apply_block_txs([cb], height=1)
+    cache.flush()
+    assert cb.outpoint(0) in base
+    spend = spend_tx(cb.outpoint(0))
+    undo = cache.apply_block_txs([spend], height=2)
+    cache.undo_block(undo)
+    assert cache.get(cb.outpoint(0)).output.value == 5000
+    cache.flush()
+    assert base.get(cb.outpoint(0)).output.value == 5000
+
+
+def test_size_trigger_flushes_automatically():
+    cache, base = make_cache()
+    cache.max_entries = 3
+    txs = [coinbase_tx(i + 1) for i in range(5)]
+    cache.apply_block_txs(txs, height=1)
+    # Overlay outgrew the budget during the block: it was written back.
+    assert cache.overlay_len() == 0
+    assert len(base) == 5
+
+
+def test_aggregates_cover_merged_view():
+    cache, _ = make_cache([(op(20), entry(11, tag=6))])
+    cache.add(op(21), entry(22, tag=7))
+    assert cache.total_value() == 33
+    counts = cache.count_by_type()
+    assert sum(counts.values()) == 2
+    assert dict(cache.items()) == cache.snapshot()
