@@ -10,7 +10,9 @@
 # smoke (scripts/profile_smoke.py), and --service to run the seeded
 # verification-service chaos smoke (scripts/service_smoke.py), and
 # --pipeline to run the block-pipeline differential smoke
-# (scripts/pipeline_smoke.py). Run from
+# (scripts/pipeline_smoke.py), and --swarm to run the 200-node
+# population-driven compact-relay differential smoke
+# (scripts/swarm_smoke.py). Run from
 # anywhere; paths resolve relative to the repo root.
 set -euo pipefail
 
@@ -21,6 +23,7 @@ run_monitors=0
 run_profile=0
 run_service=0
 run_pipeline=0
+run_swarm=0
 for arg in "$@"; do
   case "$arg" in
     --bench) run_bench=1 ;;
@@ -30,7 +33,8 @@ for arg in "$@"; do
     --profile) run_profile=1 ;;
     --service) run_service=1 ;;
     --pipeline) run_pipeline=1 ;;
-    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors] [--profile] [--service] [--pipeline]" >&2; exit 2 ;;
+    --swarm) run_swarm=1 ;;
+    *) echo "usage: $0 [--bench] [--chaos] [--recovery] [--monitors] [--profile] [--service] [--pipeline] [--swarm]" >&2; exit 2 ;;
   esac
 done
 
@@ -73,6 +77,11 @@ fi
 if [ "$run_pipeline" = 1 ]; then
   echo "== pipeline: batch ECDSA + UTXO cache differential smoke =="
   env -u REPRO_OBS python scripts/pipeline_smoke.py
+fi
+
+if [ "$run_swarm" = 1 ]; then
+  echo "== swarm: 200-node compact-relay differential smoke =="
+  env -u REPRO_OBS python scripts/swarm_smoke.py
 fi
 
 if [ "$run_bench" = 1 ]; then

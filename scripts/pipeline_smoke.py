@@ -176,14 +176,42 @@ def gate_crash_recovery(blocks, torn_bytes: int = 7) -> None:
               f" height {recovered_height}, cache state matches serial")
 
 
+def _newest_a1_baseline() -> "tuple[str, list] | None":
+    """(filename, rows) of the newest committed BENCH_pr*.json carrying
+    a1_fork_rate rows.  Anchoring to the newest recording lets deliberate
+    protocol changes (PR 10's relay echo-to-origin fix) re-record the
+    trajectory while still catching accidental drift afterwards."""
+    best = None
+    best_n = -1
+    for path in REPO.glob("BENCH_pr*.json"):
+        try:
+            n = int(path.stem.removeprefix("BENCH_pr"))
+        except ValueError:
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            continue
+        rows = (
+            data.get("experiments", {})
+            .get("a1_fork_rate", {})
+            .get("benches", {})
+            .get("bench_a1_fork_rate_vs_latency", {})
+            .get("extra_info", {})
+            .get("rows")
+        )
+        if rows and n > best_n:
+            best, best_n = (path.name, rows), n
+    return best
+
+
 def gate_a1_pin() -> None:
     from bench_a1_fork_rate import run_with_latency
 
-    baseline_rows = json.loads((REPO / "BENCH_pr2.json").read_text())[
-        "experiments"
-    ]["a1_fork_rate"]["benches"]["bench_a1_fork_rate_vs_latency"][
-        "extra_info"
-    ]["rows"]
+    baseline = _newest_a1_baseline()
+    if baseline is None:
+        raise SystemExit("error: no BENCH_pr*.json baseline with A1 rows")
+    baseline_name, baseline_rows = baseline
     for expected in baseline_rows:
         got = run_with_latency(expected["latency"])
         if got != expected:
@@ -192,7 +220,7 @@ def gate_a1_pin() -> None:
                 f"  baseline: {expected}\n  current:  {got}"
             )
     print(f"  A1 pin: {len(baseline_rows)} rows bit-identical to"
-          f" BENCH_pr2.json (accelerators opted out)")
+          f" {baseline_name} (accelerators opted out)")
 
 
 def main() -> int:

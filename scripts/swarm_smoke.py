@@ -1,0 +1,223 @@
+"""Swarm smoke: a 200-node population-driven run, compact on vs off.
+
+Driven by ``scripts/check.sh --swarm``.  Three gates:
+
+1. **Differential tip identity** — the same seeded
+   :class:`~repro.bitcoin.population.SyntheticPopulation` schedule is
+   replayed through a 200-node swarm twice, full-block flooding vs
+   compact relay (PR 10's tentpole).  Both runs must settle every round
+   on the *identical* block hashes at the identical height: the compact
+   wire format may change how blocks move, never which chain wins.
+2. **Relay-byte cut** — the compact run must move strictly fewer block
+   bytes than the flooding run (the whole point of announcing short
+   txids to warm mempools).
+3. **Partition heal** — mid-run the swarm is split in half, the halves
+   mine divergent suffixes (two blocks vs one), and after healing every
+   node must converge on the heavier side's tip — with compact relay
+   on and off alike.
+
+Transactions come from a million-user synthetic population: each
+scheduled ``(time, wallet)`` event maps to a funded key that submits one
+signed spend at a deterministic node.  Fees are made strictly distinct
+so the metronome miner assembles byte-identical blocks in both runs
+regardless of gossip arrival order.
+
+Exit status 0 means the swarm gate passed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/swarm_smoke.py
+"""
+
+import sys
+
+from repro.bitcoin.faults import Partition
+from repro.bitcoin.miner import Miner
+from repro.bitcoin.network import Simulation, build_network
+from repro.bitcoin.population import (
+    PopulationConfig,
+    SyntheticPopulation,
+    fund_wallets,
+)
+from repro.bitcoin.standard import p2pkh_script
+from repro.bitcoin.transaction import TxOut
+from repro.bitcoin.wallet import Wallet
+
+SEED = 31
+NODE_COUNT = 200
+POPULATION = 1_000_000
+WINDOW = 900.0  # one round: bursts, quiesce, mine
+ACTIVE = 500.0  # submissions land in [start, start + ACTIVE)
+MINE_AT = 850.0  # metronome miner fires after propagation settles
+ROUNDS = 4
+# The last metronome block fires at (ROUNDS-1)*WINDOW + MINE_AT and needs
+# ~50 hops x 2 s mean to cross the 200-node ring; leave it room to settle
+# before the convergence check and the partition.
+SETTLE_AT = ROUNDS * WINDOW + 400.0
+PARTITION_AT = SETTLE_AT + 10.0
+HEAL_AT = PARTITION_AT + 590.0
+END_AT = HEAL_AT + 600.0
+
+
+def build_schedule():
+    """The population's submission schedule plus pre-signed transactions.
+
+    Every event's transaction is created once, against the funding
+    chain, and replayed verbatim into both runs — the differential
+    compares relay behavior, not transaction construction.
+    """
+    population = SyntheticPopulation(
+        PopulationConfig(wallets=POPULATION, seed=SEED)
+    )
+    events = [
+        (at, wallet)
+        for i in range(ROUNDS)
+        for at, wallet in population.events(i * WINDOW, ACTIVE)
+    ]
+    wallets = {
+        w: Wallet.from_seed(b"swarm-wallet-%d" % w)
+        for w in sorted({wallet for _at, wallet in events})
+    }
+    # One funded output per scheduled spend (wallets repeat per event).
+    blocks = fund_wallets(
+        [wallets[wallet].key_hash for _at, wallet in events]
+    )
+    from repro.bitcoin.chain import Blockchain
+    from repro.bitcoin.population import sim_chain_params
+
+    chain = Blockchain(sim_chain_params())
+    for block in blocks:
+        if not chain.add_block(block):
+            raise RuntimeError("funding prefix rejected")
+
+    spent: dict[int, set] = {}
+    schedule = []
+    for j, (at, wallet_id) in enumerate(sorted(events)):
+        wallet = wallets[wallet_id]
+        tx = wallet.create_transaction(
+            chain,
+            [TxOut(30_000, p2pkh_script(wallet.key_hash))],
+            # Strictly distinct fees: the miner's fee-rate ordering (and
+            # so each round's block bytes) is independent of tx arrival
+            # order at the mining node.
+            fee=10_000 + j,
+            exclude=spent.setdefault(wallet_id, set()),
+        )
+        spent[wallet_id].update(txin.prevout for txin in tx.vin)
+        schedule.append((at, wallet_id, tx))
+    return blocks, schedule
+
+
+def run_swarm(blocks, schedule, compact):
+    sim = Simulation(seed=SEED)
+    nodes = build_network(sim, NODE_COUNT)
+    for node in nodes:
+        node.compact_relay = compact
+        for block in blocks:
+            if not node.chain.add_block(block):
+                raise RuntimeError("node rejected funding prefix")
+    base_height = nodes[0].chain.height
+
+    for at, wallet_id, tx in schedule:
+        node = nodes[wallet_id % NODE_COUNT]
+        sim.schedule(at, lambda n=node, t=tx: n.submit_transaction(t))
+
+    bank = Wallet.from_seed(b"swarm-miner")
+    round_tips = []
+
+    def mine_on(node, extra_nonce):
+        miner = Miner(node.chain, bank.key_hash)
+        block = miner.assemble(
+            node.mempool,
+            timestamp=node.chain.median_time_past() + 1,
+            extra_nonce=extra_nonce,
+        )
+        node.submit_block(block)
+        return block
+
+    for i in range(ROUNDS):
+        sim.schedule(
+            i * WINDOW + MINE_AT,
+            lambda i=i: round_tips.append(
+                mine_on(nodes[(i * 41) % NODE_COUNT], i + 1).hash
+            ),
+        )
+
+    # The partition episode: halves diverge (2 blocks vs 1), then heal.
+    episode = Partition(sim, nodes[: NODE_COUNT // 2], nodes[NODE_COUNT // 2 :])
+    episode.schedule(PARTITION_AT, HEAL_AT)
+    sim.schedule(PARTITION_AT + 150.0, lambda: mine_on(nodes[0], 101))
+    sim.schedule(PARTITION_AT + 300.0, lambda: mine_on(nodes[0], 102))
+    sim.schedule(
+        PARTITION_AT + 150.0, lambda: mine_on(nodes[NODE_COUNT - 1], 201)
+    )
+
+    sim.run_until(SETTLE_AT)
+    mid_tips = {n.chain.tip.block.hash for n in nodes}
+    if len(mid_tips) != 1:
+        raise RuntimeError(f"{len(mid_tips)} distinct tips before partition")
+    if nodes[0].chain.height != base_height + ROUNDS:
+        raise RuntimeError("metronome rounds did not all settle")
+
+    sim.run_until(END_AT)
+    final_tips = {n.chain.tip.block.hash for n in nodes}
+    if len(final_tips) != 1:
+        raise RuntimeError(f"{len(final_tips)} distinct tips after heal")
+    if nodes[0].chain.height != base_height + ROUNDS + 2:
+        raise RuntimeError("heavier partition side did not win")
+
+    bytes_by_kind: dict[str, int] = {}
+    for node in nodes:
+        for kind, amount in node.bytes_sent.items():
+            bytes_by_kind[kind] = bytes_by_kind.get(kind, 0) + amount
+    return {
+        "mode": "compact" if compact else "flood",
+        "round_tips": list(round_tips),
+        "tip": nodes[0].chain.tip.block.hash,
+        "height": nodes[0].chain.height,
+        "bytes_by_kind": bytes_by_kind,
+        "events_processed": sim.events_processed,
+    }
+
+
+def main() -> int:
+    print(f"swarm: building population schedule (seed {SEED}, "
+          f"{POPULATION} wallets, {ROUNDS} rounds)")
+    blocks, schedule = build_schedule()
+    print(f"swarm: {len(schedule)} submissions from "
+          f"{len({w for _at, w, _tx in schedule})} distinct wallets, "
+          f"{len(blocks)} funding blocks")
+
+    results = []
+    for compact in (False, True):
+        result = run_swarm(blocks, schedule, compact)
+        block_bytes = sum(
+            amount
+            for kind, amount in result["bytes_by_kind"].items()
+            if kind != "tx"
+        )
+        print(f"swarm: {result['mode']:>7}: height {result['height']}, "
+              f"tip {result['tip'].hex()[:12]}, "
+              f"block-relay bytes {block_bytes}")
+        results.append((result, block_bytes))
+
+    (flood, flood_bytes), (compact, compact_bytes) = results
+    if flood["tip"] != compact["tip"]:
+        print("swarm: FAIL — compact relay changed the winning chain")
+        return 1
+    if flood["round_tips"] != compact["round_tips"]:
+        print("swarm: FAIL — per-round blocks differ between modes")
+        return 1
+    if flood["height"] != compact["height"]:
+        print("swarm: FAIL — heights diverge between modes")
+        return 1
+    if compact_bytes >= flood_bytes:
+        print("swarm: FAIL — compact relay did not cut block-relay bytes")
+        return 1
+    print(f"ok: 200-node swarm converges identically, compact cuts "
+          f"block-relay bytes {flood_bytes / compact_bytes:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

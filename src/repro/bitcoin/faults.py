@@ -43,6 +43,7 @@ __all__ = [
     "LinkPolicy",
     "Partition",
     "ByzantinePeer",
+    "ALL_BEHAVIORS",
     "BYZANTINE_BEHAVIORS",
     "ChaosProfile",
     "ChaosResult",
@@ -210,6 +211,11 @@ BYZANTINE_BEHAVIORS = (
     "double_spend",
 )
 
+#: Every behavior an adversary can be configured with.  The default
+#: tuple above is frozen (the seeded byzantine profiles replay their
+#: exact attack schedule); protocol-specific attacks are opt-in.
+ALL_BEHAVIORS = BYZANTINE_BEHAVIORS + ("garbage_compact",)
+
 
 class ByzantinePeer:
     """An adversary wrapped around a normal :class:`Node`.
@@ -231,7 +237,13 @@ class ByzantinePeer:
     * ``double_spend`` — two conflicting signed spends of the same
       mature output, each half of the network fed a different one; if
       the attacker has no funds yet it falls back to conflicting spends
-      of a fabricated outpoint (consensus-invalid, penalized).
+      of a fabricated outpoint (consensus-invalid, penalized);
+    * ``garbage_compact`` — a compact announcement (plausible header,
+      prefilled coinbase) whose short ids match nothing anywhere: each
+      victim round-trips ``getblocktxn``, the attacker cannot back the
+      announcement with data, and the victim scores
+      :data:`~repro.bitcoin.network.POINTS_BAD_COMPACT` withheld points
+      (ten of these cross the default ban threshold).
 
     Give the wrapped node a :class:`PoissonMiner` with
     ``key_hash=byz.wallet.key_hash`` to fund real double-spends.
@@ -245,7 +257,7 @@ class ByzantinePeer:
         fork_depth: int = 3,
         spam_batch: int = 8,
     ):
-        unknown = set(behaviors) - set(BYZANTINE_BEHAVIORS)
+        unknown = set(behaviors) - set(ALL_BEHAVIORS)
         if unknown:
             raise ValueError(f"unknown byzantine behaviors: {sorted(unknown)}")
         if not behaviors:
@@ -379,6 +391,47 @@ class ByzantinePeer:
                 msg="tx",
             )
 
+    def _attack_garbage_compact(self) -> None:
+        """A compact announcement nothing can reconstruct or back.
+
+        The header plausibly extends the victim's tip and the coinbase is
+        prefilled, so the announcement survives the malformedness checks;
+        the short ids are random, so every victim misses on all of them
+        and round-trips ``getblocktxn`` straight back to the attacker —
+        who has no such block and must answer None, converting each
+        announcement into withheld-data misbehavior points at every peer.
+        """
+        from repro.bitcoin.compact import CompactBlock, PrefilledTransaction
+
+        rng = self.node.sim.rng
+        chain = self.node.chain
+        tip = chain.tip
+        height = tip.height + 1
+        coinbase = self._coinbase(height)
+        shell = build_block(
+            prev_hash=tip.block.hash,
+            txs=[coinbase],
+            timestamp=chain.median_time_past() + 1,
+            bits=chain.required_bits(tip.block.hash),
+        )
+        cb = CompactBlock(
+            header=shell.header,
+            nonce=rng.getrandbits(64),
+            short_ids=tuple(
+                bytes(rng.getrandbits(8) for _ in range(6))
+                for _ in range(self.spam_batch)
+            ),
+            prefilled=(PrefilledTransaction(0, coinbase),),
+        )
+        size = cb.serialized_size()
+        for peer in self.node.peers:
+            self.node.send_to(
+                peer,
+                lambda p=peer: p.submit_compact_block(cb, origin=self.node),
+                msg="compact",
+                size=size,
+            )
+
     # -- reporting -----------------------------------------------------
 
     def banned_by(self, nodes: list[Node]) -> list[str]:
@@ -410,6 +463,7 @@ class ChaosProfile:
     byzantine: tuple[str, ...] = ()
     byzantine_interval: float = 1800.0
     byzantine_mines: bool = False  # fund the adversary for double-spends
+    compact_relay: bool = False  # opt every node into compact block relay
     convergence_budget: float = 4 * 3600.0  # grace period after duration
 
 
@@ -471,6 +525,25 @@ PROFILES: dict[str, ChaosProfile] = {
         name="byzantine",
         byzantine=BYZANTINE_BEHAVIORS,
         byzantine_mines=True,
+    ),
+    # Compact relay under the same lossy links: getblocktxn/blocktxn
+    # round-trips get dropped too, so the timeout -> retry -> full-block
+    # fallback ladder must carry convergence.
+    "compact-lossy": ChaosProfile(
+        name="compact-lossy",
+        compact_relay=True,
+        link=LinkPolicy(
+            drop=0.10, duplicate=0.05, reorder=0.10, spike=0.05,
+            spike_mean=45.0,
+        ),
+    ),
+    # An adversary feeding unreconstructable compact announcements; the
+    # withheld-data penalty must get it banned while the honest swarm
+    # keeps converging over compact relay.
+    "compact-byzantine": ChaosProfile(
+        name="compact-byzantine",
+        compact_relay=True,
+        byzantine=("garbage_compact",),
     ),
     # The acceptance scenario: 10% drop everywhere, one 2-partition
     # episode, one crash/restart, and one byzantine peer — all at once.
@@ -697,6 +770,7 @@ def run_chaos(profile: ChaosProfile, seed: int = 0) -> ChaosResult:
     nodes = build_network(sim, profile.node_count, latency=profile.latency)
     for node in nodes:
         node.auto_sync = True  # orphans under faults re-request their past
+        node.compact_relay = profile.compact_relay
     honest = list(nodes)
 
     byz: ByzantinePeer | None = None

@@ -24,8 +24,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import obs
+from repro.bitcoin import compact as compact_relay_mod
 from repro.bitcoin.block import Block
 from repro.bitcoin.chain import Blockchain, ChainParams
+from repro.bitcoin.compact import CompactBlock
 from repro.bitcoin.mempool import Mempool, MempoolError, MempoolValidationError
 from repro.bitcoin.miner import Miner
 from repro.bitcoin.pow import block_work
@@ -39,10 +41,34 @@ from repro.bitcoin.wallet import Wallet
 # transactions are nearly as damning, except a "missing or spent input"
 # can reach us innocently (the input was spent while the tx was in flight,
 # e.g. either side of a double-spend race), so it costs only a token amount.
+# A compact-block announcement the sender then refuses to back with data
+# (no blocktxn / no full block / a block that doesn't match its own hash)
+# also scores: an honest sender always has the block it announced.  Short-id
+# *collisions* never score — per BIP 152 they can happen to honest peers.
 POINTS_INVALID_BLOCK = 50
 POINTS_INVALID_TX = 10
 POINTS_STALE_TX = 2
+POINTS_BAD_COMPACT = 10
 DEFAULT_BAN_THRESHOLD = 100
+
+# Compact-relay round-trip recovery: how long to wait for a blocktxn or
+# full-block reply before retrying, and how many attempts per stage.  The
+# timeout scales with the attempt number (fixed schedule, no RNG: recovery
+# scheduling must not perturb the seeded hop-delay streams).
+COMPACT_TXN_TIMEOUT = 30.0
+COMPACT_MAX_ATTEMPTS = 2
+
+# Per-message-kind relay byte series (obs).  Kinds outside this table
+# count toward the total only.
+_BYTE_SERIES = {
+    "block": "relay.block_bytes_total",
+    "tx": "relay.tx_bytes_total",
+    "compact": "relay.compact_bytes_total",
+    "getblocktxn": "relay.getblocktxn_bytes_total",
+    "blocktxn": "relay.blocktxn_bytes_total",
+    "getblock": "relay.getblock_bytes_total",
+    "sync": "relay.sync_bytes_total",
+}
 
 
 # How an event-loop run stopped.  Callers (and the event-loop gauges) use
@@ -154,6 +180,12 @@ class Node:
     # (repro.bitcoin.faults.run_chaos) turn it on — with dropped messages
     # an orphan is evidence the parent may never arrive on its own.
     auto_sync: bool = False
+    # BIP 152-style compact block relay (repro.bitcoin.compact).  Off by
+    # default for the same reason as auto_sync: the getblocktxn/blocktxn
+    # round-trips draw extra hop delays from the seeded stream, so the
+    # pinned full-relay experiments must never take this path.  Compact
+    # announcements are only sent when *both* endpoints opted in.
+    compact_relay: bool = False
     # Durable persistence (repro.store).  None keeps the node fully
     # in-memory — the pre-store behavior, and what the seeded perfect-
     # network experiments pin.  A directory path gives the node a disk:
@@ -188,6 +220,14 @@ class Node:
         self._seen_blocks: OrderedDict[bytes, None] = OrderedDict()
         self._seen_blocks[self.chain.genesis.hash] = None
         self._seen_txs: OrderedDict[bytes, None] = OrderedDict()
+        # Cumulative wire bytes sent, by message kind ("block", "tx",
+        # "compact", ...).  Maintained unconditionally — it is plain
+        # arithmetic, costs no RNG draws, and the relay-byte benchmarks
+        # need it on obs-disabled runs too.
+        self.bytes_sent: dict[str, int] = {}
+        # Compact blocks awaiting a getblocktxn/full-block round-trip:
+        # block hash -> _PendingCompact.
+        self._compact_pending: dict[bytes, _PendingCompact] = {}
         # Chaos-layer state: per-peer-name outbound fault policy, active
         # sync sessions, misbehavior scores, and the ban list.
         self._link_policies: dict[str, object] = {}
@@ -267,7 +307,13 @@ class Node:
         # Exponential jitter around the configured mean.
         return self.sim.rng.expovariate(1.0 / self.latency)
 
-    def send_to(self, peer: "Node", action: Callable[[], None], msg: str) -> None:
+    def send_to(
+        self,
+        peer: "Node",
+        action: Callable[[], None],
+        msg: str,
+        size: int = 0,
+    ) -> None:
         """Schedule delivery of one message to ``peer`` over the link.
 
         Without a fault policy this is exactly the pre-chaos relay path —
@@ -275,7 +321,18 @@ class Node:
         network simulations are bit-for-bit unchanged.  With a policy the
         message may be dropped, duplicated, reordered, or hit a latency
         spike, each recorded as a ``fault.*`` event.
+
+        ``size`` is the message's wire bytes, charged to :attr:`bytes_sent`
+        (and the ``relay.*_bytes_total`` obs series) at send time — a
+        dropped message still cost the sender its upstream bandwidth.
         """
+        if size:
+            self.bytes_sent[msg] = self.bytes_sent.get(msg, 0) + size
+            if obs.ENABLED:
+                obs.inc("relay.bytes_total", size)
+                series = _BYTE_SERIES.get(msg)
+                if series is not None:
+                    obs.inc(series, size)
         base = self._hop_delay()
         policy = self._link_policies.get(peer.name)
         if policy is None:
@@ -360,6 +417,7 @@ class Node:
         self._orphans.clear()
         self._orphans_by_parent.clear()
         self._seen_txs.clear()
+        self._compact_pending.clear()
         if self.chain.store is not None:
             self.chain.store.close()
         if obs.ENABLED:
@@ -477,6 +535,14 @@ class Node:
         self._remember(self._seen_blocks, block.hash, "block")
         if obs.ENABLED:
             self._block_hops[block.hash] = hop
+        self._accept_block(block, origin, hop)
+
+    def _accept_block(
+        self, block: Block, origin: "Node | None", hop: int
+    ) -> None:
+        """Validate, store, and relay a block whose seen-set bookkeeping is
+        done — the shared tail of full-block receipt and compact-block
+        reconstruction."""
         if self.chain.has_block(block.hash):
             # Re-delivered after seen-set eviction: already stored.
             return
@@ -504,7 +570,7 @@ class Node:
                 )
         self.mempool.remove_confirmed(list(block.txs))
         self.mempool.revalidate()
-        self._relay_block(block, hop)
+        self._relay_block(block, hop, origin)
         # Adopt any orphans waiting on this block.
         for child_hash in self._orphans_by_parent.pop(block.hash, []):
             child = self._orphans.pop(child_hash, None)
@@ -592,18 +658,48 @@ class Node:
 
             start_sync(self, origin, reason="orphan")
 
-    def _relay_block(self, block: Block, hop: int = 0) -> None:
-        if obs.ENABLED and self.peers:
-            obs.inc("net.blocks_relayed_total", len(self.peers))
+    def _relay_block(
+        self, block: Block, hop: int = 0, origin: "Node | None" = None
+    ) -> None:
+        # Never echo a block back to the peer it arrived from: the sender
+        # already has it, and at swarm scale the echoes double block
+        # traffic (they show up as redundant relay.hop receives).
+        targets = [peer for peer in self.peers if peer is not origin]
+        if not targets:
+            return
+        if obs.ENABLED:
+            obs.inc("net.blocks_relayed_total", len(targets))
         next_hop = hop + 1
-        for peer in self.peers:
-            self.send_to(
-                peer,
-                lambda p=peer: p.submit_block(
-                    block, origin=self, hop=next_hop
-                ),
-                msg="block",
-            )
+        cb: CompactBlock | None = None
+        cb_size = 0
+        full_size = 0
+        if self.compact_relay and any(p.compact_relay for p in targets):
+            # One announcement per relay, salted with the sender's name so
+            # every sender keys short ids differently (grinding a collision
+            # against one peer's key buys nothing against another's).
+            cb = CompactBlock.from_block(block, salt=self.name.encode())
+            cb_size = cb.serialized_size()
+        for peer in targets:
+            if cb is not None and peer.compact_relay:
+                self.send_to(
+                    peer,
+                    lambda p=peer: p.submit_compact_block(
+                        cb, origin=self, hop=next_hop
+                    ),
+                    msg="compact",
+                    size=cb_size,
+                )
+            else:
+                if not full_size:
+                    full_size = block.serialized_size()
+                self.send_to(
+                    peer,
+                    lambda p=peer: p.submit_block(
+                        block, origin=self, hop=next_hop
+                    ),
+                    msg="block",
+                    size=full_size,
+                )
 
     def submit_transaction(
         self, tx: Transaction, origin: "Node | None" = None, hop: int = 0
@@ -630,6 +726,18 @@ class Node:
         if tx.txid in self._seen_txs:
             return False
         self._remember(self._seen_txs, tx.txid, "tx")
+        if (
+            tx.txid in self.mempool
+            or self.chain.get_transaction(tx.txid) is not None
+        ):
+            # The seen-set is bounded, so a duplicate can outlive its
+            # entry.  Consult the pools the way the block path consults
+            # the chain: an already-held transaction must not be
+            # re-validated (spurious stale-tx penalties for innocent
+            # re-senders) or re-relayed (relay storms at swarm scale).
+            if obs.ENABLED:
+                obs.inc("net.duplicates_suppressed_total")
+            return False
         try:
             self.mempool.accept(tx)
         except MempoolValidationError as exc:
@@ -646,18 +754,352 @@ class Node:
             # not evidence of malice: honest peers relay under different
             # policies.
             return False
-        if obs.ENABLED and self.peers:
-            obs.inc("net.txs_relayed_total", len(self.peers))
-        next_hop = hop + 1
-        for peer in self.peers:
-            self.send_to(
-                peer,
-                lambda p=peer: p.submit_transaction(
-                    tx, origin=self, hop=next_hop
-                ),
-                msg="tx",
-            )
+        # As with blocks, never echo a transaction back to its sender.
+        targets = [peer for peer in self.peers if peer is not origin]
+        if targets:
+            if obs.ENABLED:
+                obs.inc("net.txs_relayed_total", len(targets))
+            next_hop = hop + 1
+            tx_size = len(tx.serialize())
+            for peer in targets:
+                self.send_to(
+                    peer,
+                    lambda p=peer: p.submit_transaction(
+                        tx, origin=self, hop=next_hop
+                    ),
+                    msg="tx",
+                    size=tx_size,
+                )
         return True
+
+    # ------------------------------------------------------------------
+    # Compact block relay (BIP 152-style; repro.bitcoin.compact)
+    # ------------------------------------------------------------------
+
+    def submit_compact_block(
+        self, cb: CompactBlock, origin: "Node | None" = None, hop: int = 0
+    ) -> None:
+        """Receive a compact announcement: reconstruct from the mempool,
+        round-trip ``getblocktxn`` for misses, fall back to the full block
+        on collision or failure (see module docs in repro.bitcoin.compact).
+        """
+        if not self.alive:
+            return
+        if obs.ENABLED and self.telemetry is not None:
+            with obs.node_scope(self.telemetry):
+                self._submit_compact_block(cb, origin, hop)
+        else:
+            self._submit_compact_block(cb, origin, hop)
+
+    def _submit_compact_block(
+        self, cb: CompactBlock, origin: "Node | None", hop: int
+    ) -> None:
+        if obs.ENABLED:
+            obs.inc("compact.blocks_total")
+            self._record_hop(
+                "block", cb.hash, origin, hop,
+                redundant=cb.hash in self._seen_blocks,
+            )
+        if cb.hash in self._seen_blocks or cb.hash in self._compact_pending:
+            return
+        self._remember(self._seen_blocks, cb.hash, "block")
+        if obs.ENABLED:
+            self._block_hops[cb.hash] = hop
+        if self.chain.has_block(cb.hash):
+            return
+        try:
+            result = compact_relay_mod.reconstruct(cb, self.mempool)
+        except compact_relay_mod.MalformedCompactError as exc:
+            # No honest sender builds an announcement like this.  Forget
+            # the hash so a real block with this header (if one exists)
+            # is not shadowed by the garbage announcement.
+            self._seen_blocks.pop(cb.hash, None)
+            self.penalize(
+                origin, POINTS_BAD_COMPACT, f"malformed compact block: {exc}"
+            )
+            return
+        if obs.ENABLED:
+            if result.collisions:
+                obs.inc("compact.collisions_total", result.collisions)
+            obs.emit(
+                "compact.received",
+                node=self.name,
+                hash=cb.hash,
+                txs=cb.tx_count,
+                missing=len(result.missing),
+            )
+        if result.complete:
+            block = compact_relay_mod.finalize(cb, result.txs)
+            if block is not None:
+                if obs.ENABLED:
+                    obs.inc("compact.reconstructed_total")
+                self._accept_block(block, origin, hop)
+                return
+            # Every slot filled, but the merkle root disagrees: a short id
+            # matched the wrong mempool transaction (innocent collision).
+            # Fetch the full block; nobody is penalized.
+            if origin is None or not origin.alive:
+                self._give_up_compact(cb.hash, resync=False)
+                return
+            self._compact_pending[cb.hash] = _PendingCompact(
+                compact=cb, origin=origin, hop=hop,
+                txs=list(result.txs), missing=list(result.missing),
+            )
+            self._fallback_full(cb.hash, reason="false-match")
+            return
+        if obs.ENABLED:
+            obs.inc("compact.misses_total", len(result.missing))
+        if origin is None or not origin.alive:
+            # Nobody to round-trip with; forget the announcement so a
+            # later full relay or sync can deliver the block.
+            self._seen_blocks.pop(cb.hash, None)
+            return
+        self._compact_pending[cb.hash] = _PendingCompact(
+            compact=cb, origin=origin, hop=hop,
+            txs=list(result.txs), missing=list(result.missing),
+        )
+        self._request_block_txns(cb.hash, attempt=1)
+
+    def _request_block_txns(self, block_hash: bytes, attempt: int) -> None:
+        """Ask the announcing peer for the block's missing transactions."""
+        pending = self._compact_pending.get(block_hash)
+        if pending is None:
+            return
+        origin = pending.origin
+        pending.req_seq += 1
+        req = pending.req_seq
+        indexes = tuple(pending.missing)
+        if obs.ENABLED:
+            with obs.node_scope(self.telemetry):
+                obs.inc("compact.roundtrips_total")
+                obs.emit(
+                    "compact.getblocktxn",
+                    node=self.name,
+                    peer=origin.name,
+                    hash=block_hash,
+                    indexes=len(indexes),
+                )
+        self.send_to(
+            origin,
+            lambda: origin._serve_block_txns(self, block_hash, indexes, req),
+            msg="getblocktxn",
+            size=compact_relay_mod.getblocktxn_size(len(indexes)),
+        )
+        self.sim.schedule(
+            COMPACT_TXN_TIMEOUT * attempt,
+            lambda: self._on_compact_timeout(
+                block_hash, req, attempt, stage="blocktxn"
+            ),
+        )
+
+    def _serve_block_txns(
+        self,
+        requester: "Node",
+        block_hash: bytes,
+        indexes: tuple[int, ...],
+        req: int,
+    ) -> None:
+        """Peer side of ``getblocktxn``: reply with the requested
+        transactions, or None if we don't actually have the block."""
+        if not self.alive:
+            return
+        entry = self.chain.entry(block_hash)
+        payload = None
+        if entry is not None and all(
+            0 <= i < len(entry.block.txs) for i in indexes
+        ):
+            payload = tuple(entry.block.txs[i] for i in indexes)
+        size = (
+            compact_relay_mod.blocktxn_size(payload)
+            if payload is not None
+            else 40
+        )
+        self.send_to(
+            requester,
+            lambda: requester._on_block_txns(block_hash, req, payload),
+            msg="blocktxn",
+            size=size,
+        )
+
+    def _on_block_txns(
+        self,
+        block_hash: bytes,
+        req: int,
+        payload: "tuple[Transaction, ...] | None",
+    ) -> None:
+        if not self.alive:
+            return
+        pending = self._compact_pending.get(block_hash)
+        if pending is None or pending.req_seq != req:
+            return  # resolved, superseded, or timed out meanwhile
+        with obs.node_scope(self.telemetry if obs.ENABLED else None):
+            if payload is None or len(payload) != len(pending.missing):
+                # The peer announced a block it cannot back with data: an
+                # honest sender always can.  (Distinct from a short-id
+                # collision, which is never penalized.)
+                if obs.ENABLED:
+                    obs.inc("compact.withheld_total")
+                    obs.emit(
+                        "compact.withheld",
+                        node=self.name,
+                        peer=pending.origin.name,
+                        hash=block_hash,
+                    )
+                self.penalize(
+                    pending.origin,
+                    POINTS_BAD_COMPACT,
+                    "compact announcement not backed by blocktxn",
+                )
+                self._give_up_compact(block_hash, resync=False)
+                return
+            for slot, tx in zip(pending.missing, payload):
+                pending.txs[slot] = tx
+            block = compact_relay_mod.finalize(
+                pending.compact, tuple(pending.txs)
+            )
+            if block is None:
+                # Merkle mismatch *after* an honest round-trip: one of our
+                # local short-id matches was a false positive.  Innocent —
+                # fall back to the full block.
+                self._fallback_full(block_hash, reason="merkle-mismatch")
+                return
+            del self._compact_pending[block_hash]
+            if obs.ENABLED:
+                obs.inc("compact.reconstructed_total")
+            self._accept_block(block, pending.origin, pending.hop)
+
+    def _fallback_full(
+        self, block_hash: bytes, reason: str, attempt: int = 1
+    ) -> None:
+        """Give up on reconstruction and request the full block."""
+        pending = self._compact_pending.get(block_hash)
+        if pending is None:
+            return
+        origin = pending.origin
+        if not pending.fell_back:
+            pending.fell_back = True
+            if obs.ENABLED:
+                obs.inc("compact.fallback_total")
+                with obs.node_scope(self.telemetry):
+                    obs.emit(
+                        "compact.fallback",
+                        node=self.name,
+                        hash=block_hash,
+                        reason=reason,
+                    )
+        pending.req_seq += 1
+        req = pending.req_seq
+        self.send_to(
+            origin,
+            lambda: origin._serve_full_block(self, block_hash, req),
+            msg="getblock",
+            size=compact_relay_mod.GETBLOCK_SIZE,
+        )
+        self.sim.schedule(
+            COMPACT_TXN_TIMEOUT * attempt,
+            lambda: self._on_compact_timeout(
+                block_hash, req, attempt, stage="fullblock"
+            ),
+        )
+
+    def _serve_full_block(
+        self, requester: "Node", block_hash: bytes, req: int
+    ) -> None:
+        if not self.alive:
+            return
+        entry = self.chain.entry(block_hash)
+        block = entry.block if entry is not None else None
+        size = block.serialized_size() if block is not None else 40
+        self.send_to(
+            requester,
+            lambda: requester._on_full_block(block_hash, req, block),
+            msg="block",
+            size=size,
+        )
+
+    def _on_full_block(
+        self, block_hash: bytes, req: int, block: Block | None
+    ) -> None:
+        if not self.alive:
+            return
+        pending = self._compact_pending.get(block_hash)
+        if pending is None or pending.req_seq != req:
+            return
+        with obs.node_scope(self.telemetry if obs.ENABLED else None):
+            if block is None or block.hash != block_hash:
+                if obs.ENABLED:
+                    obs.inc("compact.withheld_total")
+                    obs.emit(
+                        "compact.withheld",
+                        node=self.name,
+                        peer=pending.origin.name,
+                        hash=block_hash,
+                    )
+                self.penalize(
+                    pending.origin,
+                    POINTS_BAD_COMPACT,
+                    "compact announcement not backed by a full block",
+                )
+                self._give_up_compact(block_hash, resync=False)
+                return
+            del self._compact_pending[block_hash]
+            self._accept_block(block, pending.origin, pending.hop)
+
+    def _on_compact_timeout(
+        self, block_hash: bytes, req: int, attempt: int, stage: str
+    ) -> None:
+        if not self.alive:
+            return
+        pending = self._compact_pending.get(block_hash)
+        if pending is None or pending.req_seq != req:
+            return  # a reply (or a newer request) won the race
+        if attempt < COMPACT_MAX_ATTEMPTS:
+            if stage == "blocktxn":
+                self._request_block_txns(block_hash, attempt + 1)
+            else:
+                self._fallback_full(
+                    block_hash, reason="timeout-retry", attempt=attempt + 1
+                )
+        elif stage == "blocktxn":
+            self._fallback_full(block_hash, reason="timeout")
+        else:
+            self._give_up_compact(block_hash, resync=True)
+
+    def _give_up_compact(self, block_hash: bytes, resync: bool) -> None:
+        """Abandon a pending reconstruction entirely.
+
+        The hash is un-remembered so a later relay or catch-up sync can
+        still deliver the block; with ``resync`` (the lossy-link give-up
+        path) and ``auto_sync`` on, a sync with the announcing peer is
+        kicked immediately.
+        """
+        pending = self._compact_pending.pop(block_hash, None)
+        if pending is None:
+            return
+        if not self.chain.has_block(block_hash):
+            self._seen_blocks.pop(block_hash, None)
+        if (
+            resync
+            and self.auto_sync
+            and pending.origin.alive
+            and pending.origin in self.peers
+        ):
+            from repro.bitcoin.sync import start_sync
+
+            start_sync(self, pending.origin, reason="compact")
+
+
+@dataclass
+class _PendingCompact:
+    """A compact block mid-recovery (missing txs or full-block fetch)."""
+
+    compact: CompactBlock
+    origin: Node
+    hop: int
+    txs: list[Transaction | None]
+    missing: list[int]
+    req_seq: int = 0
+    fell_back: bool = False
 
 
 class PoissonMiner:
@@ -740,12 +1182,15 @@ def build_network(
     node_count: int,
     params: ChainParams | None = None,
     latency: float = 2.0,
+    node_cls: type[Node] = Node,
 ) -> list[Node]:
     """A ring-plus-chords topology of ``node_count`` full nodes."""
     params = params or ChainParams(
         max_target=2**252, retarget_window=2**31, require_pow=False
     )
-    nodes = [Node(f"node{i}", sim, params, latency) for i in range(node_count)]
+    nodes = [
+        node_cls(f"node{i}", sim, params, latency) for i in range(node_count)
+    ]
     for i, node in enumerate(nodes):
         node.connect(nodes[(i + 1) % node_count])
         if node_count > 4:

@@ -159,13 +159,17 @@ class SyncSession:
         make_reply: Callable[[], object],
         on_reply: Callable[[object], None],
         retry: Callable[[int], None],
+        request_size: int = 0,
+        reply_size: Callable[[object], int] | None = None,
     ) -> None:
         """One request over the link and back, with timeout + retry.
 
         Both legs ride :meth:`Node.send_to`, so either can be dropped or
         delayed by the edge's fault policy; ``make_reply`` runs on the
         peer's side *at arrival time* (the reply reflects the peer's
-        state then, not when the request was sent).
+        state then, not when the request was sent).  ``request_size`` and
+        ``reply_size(reply)`` feed the relay-byte accounting; both legs
+        are charged to the ``sync`` message kind.
         """
         self._req_seq += 1
         req = self._req_seq
@@ -184,7 +188,12 @@ class SyncSession:
             if self.done or not peer.alive:
                 return  # request reached a dead host: no reply, timeout
             reply = make_reply()
-            peer.send_to(node, lambda: deliver(reply), msg="sync")
+            peer.send_to(
+                node,
+                lambda: deliver(reply),
+                msg="sync",
+                size=reply_size(reply) if reply_size is not None else 0,
+            )
 
         if obs.ENABLED:
             obs.emit(
@@ -194,7 +203,7 @@ class SyncSession:
                 what=what,
                 attempt=attempt,
             )
-        node.send_to(peer, peer_side, msg="sync")
+        node.send_to(peer, peer_side, msg="sync", size=request_size)
 
         timeout = backoff_delay(
             attempt,
@@ -239,6 +248,9 @@ class SyncSession:
                 locator, self.config.max_headers
             )
 
+        def reply_size(hashes: object) -> int:
+            return 9 + 32 * len(hashes)  # varint count + hashes
+
         def on_reply(hashes: object) -> None:
             assert isinstance(hashes, list)
             if obs.ENABLED:
@@ -258,7 +270,13 @@ class SyncSession:
             self._next_block()
 
         self._roundtrip(
-            "headers", attempt, make_reply, on_reply, self._request_headers
+            "headers",
+            attempt,
+            make_reply,
+            on_reply,
+            self._request_headers,
+            request_size=9 + 32 * len(locator),
+            reply_size=reply_size,
         )
 
     def _next_block(self) -> None:
@@ -273,14 +291,50 @@ class SyncSession:
         # that brings nothing new completes the session.
         self._request_headers(attempt=1)
 
-    def _request_block(self, block_hash: bytes, attempt: int) -> None:
+    def _request_block(
+        self, block_hash: bytes, attempt: int, full: bool = False
+    ) -> None:
+        """Fetch one block; compact form when both ends opted in.
+
+        With compact relay enabled on both endpoints the peer answers
+        with a :class:`~repro.bitcoin.compact.CompactBlock` (unless the
+        block is coinbase-only, where short ids save nothing).  The
+        receiver attempts a *local-only* reconstruction — no extra
+        round-trip — and on any miss simply re-requests the full block
+        (``full=True``): catch-up blocks are usually past the mempool's
+        horizon, so the miss path must stay a single clean retry.
+        """
+
         def make_reply() -> object:
             entry = self.peer.chain.entry(block_hash)
             if entry is None:
                 return None
             # A fetched block continues the peer's propagation tree one
             # hop deeper, exactly like a gossip relay would have.
-            return (entry.block, self.peer._block_hops.get(block_hash, 0) + 1)
+            hop = self.peer._block_hops.get(block_hash, 0) + 1
+            block = entry.block
+            if (
+                not full
+                and self.node.compact_relay
+                and self.peer.compact_relay
+                and len(block.txs) > 1
+            ):
+                from repro.bitcoin.compact import CompactBlock
+
+                return (
+                    "compact",
+                    CompactBlock.from_block(
+                        block, salt=self.peer.name.encode()
+                    ),
+                    hop,
+                )
+            return ("block", block, hop)
+
+        def reply_size(reply: object) -> int:
+            if reply is None:
+                return 40
+            _, payload, _ = reply
+            return payload.serialized_size()
 
         def on_reply(reply: object) -> None:
             if reply is None:
@@ -288,7 +342,19 @@ class SyncSession:
                 # reorged away between headers and getdata.  Re-anchor.
                 self._request_headers(attempt=1)
                 return
-            block, hop = reply
+            kind, payload, hop = reply
+            if kind == "compact":
+                block = self._reconstruct_local(payload)
+                if block is None:
+                    # Mempool miss or false match: one clean full retry.
+                    if obs.ENABLED:
+                        obs.inc("sync.compact_fallback_total")
+                    self._request_block(block_hash, attempt=1, full=True)
+                    return
+                if obs.ENABLED:
+                    obs.inc("sync.compact_hits_total")
+            else:
+                block = payload
             self.blocks_fetched += 1
             if obs.ENABLED:
                 obs.inc("sync.blocks_fetched_total")
@@ -302,5 +368,26 @@ class SyncSession:
             attempt,
             make_reply,
             on_reply,
-            lambda next_attempt: self._request_block(block_hash, next_attempt),
+            lambda next_attempt: self._request_block(
+                block_hash, next_attempt, full=full
+            ),
+            request_size=36,
+            reply_size=reply_size,
         )
+
+    def _reconstruct_local(self, cb) -> "Block | None":
+        """Mempool-only reconstruction of a compact sync reply (no
+        getblocktxn round-trip; None means fall back to a full fetch)."""
+        from repro.bitcoin.compact import (
+            MalformedCompactError,
+            finalize,
+            reconstruct,
+        )
+
+        try:
+            result = reconstruct(cb, self.node.mempool)
+        except MalformedCompactError:
+            return None
+        if not result.complete:
+            return None
+        return finalize(cb, result.txs)

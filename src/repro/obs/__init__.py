@@ -133,6 +133,8 @@ CATALOGUE: tuple[tuple[str, str], ...] = (
     # Catch-up sync sessions (headers-first re-request on reconnect).
     ("sync.sessions_total", "c"),
     ("sync.blocks_fetched_total", "c"),
+    ("sync.compact_hits_total", "c"),
+    ("sync.compact_fallback_total", "c"),
     ("sync.timeouts_total", "c"),
     ("sync.retries_total", "c"),
     ("sync.failures_total", "c"),
@@ -211,6 +213,27 @@ CATALOGUE: tuple[tuple[str, str], ...] = (
     ("utxocache.flushes_total", "c"),
     ("utxocache.flushed_entries_total", "c"),
     ("utxocache.overlay_size", "g"),
+    # Compact block relay (BIP 152-style): announcements received,
+    # reconstruction outcomes, and round-trip recovery traffic.
+    ("compact.blocks_total", "c"),
+    ("compact.reconstructed_total", "c"),
+    ("compact.misses_total", "c"),
+    ("compact.collisions_total", "c"),
+    ("compact.roundtrips_total", "c"),
+    ("compact.fallback_total", "c"),
+    ("compact.withheld_total", "c"),
+    # Relay wire bytes, total and by message kind (charged at send time).
+    ("relay.bytes_total", "c"),
+    ("relay.block_bytes_total", "c"),
+    ("relay.tx_bytes_total", "c"),
+    ("relay.compact_bytes_total", "c"),
+    ("relay.getblocktxn_bytes_total", "c"),
+    ("relay.blocktxn_bytes_total", "c"),
+    ("relay.getblock_bytes_total", "c"),
+    ("relay.sync_bytes_total", "c"),
+    # Duplicates of already-held transactions suppressed after seen-set
+    # eviction (the relay-storm guard in Node._submit_transaction).
+    ("net.duplicates_suppressed_total", "c"),
 )
 
 

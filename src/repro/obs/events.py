@@ -32,6 +32,7 @@ __all__ = [
     "EVENT_KINDS",
     "EVENT_KINDS_SINCE_V2",
     "EVENT_KINDS_SINCE_V3",
+    "EVENT_KINDS_SINCE_V4",
     "Event",
     "EventLog",
     "EventSchemaError",
@@ -41,10 +42,10 @@ __all__ = [
 # Bump when the envelope or a kind's required fields change shape.
 # v2 added the swarm-telemetry kinds (relay.hop, monitor.violation,
 # node.crash); v3 added the verification-service kinds (service.*,
-# script.pool_broken).  The envelope is unchanged throughout, so v1 and
-# v2 dumps still validate.
-EVENT_SCHEMA_VERSION = 3
-SUPPORTED_EVENT_SCHEMA_VERSIONS = (1, 2, 3)
+# script.pool_broken); v4 added the compact-relay kinds (compact.*).
+# The envelope is unchanged throughout, so older dumps still validate.
+EVENT_SCHEMA_VERSION = 4
+SUPPORTED_EVENT_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 # kind -> required payload field names.  Emitting an unknown kind or
 # omitting a required field raises immediately: a typo at a call site
@@ -115,6 +116,16 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "service.degraded": ("reason",),
     # The block-connect script pool broke; verification fell back serial.
     "script.pool_broken": ("groups",),
+    # --- schema v4: compact block relay (BIP 152-style) ---
+    # A compact announcement arrived: total txs, mempool misses.
+    "compact.received": ("node", "hash", "txs", "missing"),
+    # The receiver round-tripped for the missing transactions.
+    "compact.getblocktxn": ("node", "peer", "hash", "indexes"),
+    # Reconstruction was abandoned for a full-block fetch (collision,
+    # merkle mismatch, or round-trip timeout — never peer misbehavior).
+    "compact.fallback": ("node", "hash", "reason"),
+    # The announcing peer failed to back its announcement with data.
+    "compact.withheld": ("node", "peer", "hash"),
 }
 
 # Kinds that did not exist before schema v2: a v1 event claiming one of
@@ -134,6 +145,16 @@ EVENT_KINDS_SINCE_V3 = frozenset(
         "service.shed",
         "service.degraded",
         "script.pool_broken",
+    }
+)
+
+# Likewise for schema v4 (the compact-relay kinds).
+EVENT_KINDS_SINCE_V4 = frozenset(
+    {
+        "compact.received",
+        "compact.getblocktxn",
+        "compact.fallback",
+        "compact.withheld",
     }
 )
 
@@ -215,6 +236,11 @@ def validate_event(obj: dict) -> None:
     if obj["v"] < 3 and kind in EVENT_KINDS_SINCE_V3:
         raise EventSchemaError(
             f"kind {kind!r} was introduced in schema v3 "
+            f"but the event claims v{obj['v']}"
+        )
+    if obj["v"] < 4 and kind in EVENT_KINDS_SINCE_V4:
+        raise EventSchemaError(
+            f"kind {kind!r} was introduced in schema v4 "
             f"but the event claims v{obj['v']}"
         )
     data = obj["data"]

@@ -186,3 +186,134 @@ class TestStopReasons:
             sim.schedule(t, lambda: None)
         sim.run_until(10)
         assert sim.events_processed == 3
+
+
+@pytest.fixture
+def obs_on():
+    """Observability enabled against private state, restored afterwards."""
+    from repro import obs
+
+    was_enabled = obs.ENABLED
+    saved_registry = obs.set_registry(obs.Registry())
+    saved_tracer = obs.set_tracer(obs.Tracer())
+    saved_events = obs.set_event_log(obs.EventLog())
+    obs.enable()
+    yield obs
+    obs.set_registry(saved_registry)
+    obs.set_tracer(saved_tracer)
+    obs.set_event_log(saved_events)
+    obs.ENABLED = was_enabled
+
+
+class TestSeenEviction:
+    """PR 10 regression: the per-node seen set is bounded, so a held
+    transaction's entry can be evicted by unrelated traffic.  A late
+    duplicate arriving after eviction used to be re-validated (a spurious
+    mempool rejection) and could be re-relayed; now the mempool and chain
+    are consulted first and the copy is suppressed outright."""
+
+    def _junk_tx(self, i):
+        from repro.bitcoin.standard import p2pkh_script
+        from repro.bitcoin.transaction import (
+            OutPoint,
+            Transaction,
+            TxIn,
+            TxOut,
+        )
+
+        return Transaction(
+            vin=[TxIn(OutPoint(bytes([i]) * 32, 0))],
+            vout=[TxOut(1_000, p2pkh_script(b"\x22" * 20))],
+        )
+
+    def _funded_pair(self, obs_on, seed=3):
+        from repro.bitcoin.population import fund_wallets
+        from repro.bitcoin.wallet import Wallet
+
+        sim = Simulation(seed=seed)
+        a, b = build_network(sim, 2)
+        wallet = Wallet.from_seed(b"seen-eviction")
+        for block in fund_wallets([wallet.key_hash]):
+            assert a.chain.add_block(block)
+            assert b.chain.add_block(block)
+        return sim, a, b, wallet
+
+    def test_held_duplicate_suppressed_after_eviction(self, obs_on):
+        from repro.bitcoin.standard import p2pkh_script
+        from repro.bitcoin.transaction import TxOut
+
+        sim, a, b, wallet = self._funded_pair(obs_on)
+        a.seen_limit = 4
+        tx = wallet.create_transaction(
+            a.chain,
+            [TxOut(30_000, p2pkh_script(wallet.key_hash))],
+            fee=10_000,
+        )
+        assert a.submit_transaction(tx)
+        sim.run_until(120.0)
+        assert tx.txid in a.mempool and tx.txid in b.mempool
+
+        # Unrelated junk floods the bounded seen set past its cap; the
+        # held transaction's entry is evicted while the tx stays pooled.
+        for i in range(1, 6):
+            assert not a.submit_transaction(self._junk_tx(i))
+        assert tx.txid not in a._seen_txs
+        assert tx.txid in a.mempool
+
+        registry = obs_on.registry()
+        rejected_before = registry.counter("mempool.rejected_total").value
+        bytes_before = dict(a.bytes_sent)
+
+        # The late duplicate comes back from the peer: it must be
+        # suppressed against the mempool — not re-validated (which
+        # counted a spurious rejection pre-fix) and not re-relayed.
+        assert not a.submit_transaction(tx, origin=b, hop=1)
+        assert (
+            registry.counter("net.duplicates_suppressed_total").value == 1
+        )
+        assert (
+            registry.counter("mempool.rejected_total").value
+            == rejected_before
+        )
+        assert a.bytes_sent == bytes_before
+        assert a.misbehavior_score(b) == 0
+
+    def test_confirmed_duplicate_suppressed_after_eviction(self, obs_on):
+        from repro.bitcoin.miner import Miner
+        from repro.bitcoin.standard import p2pkh_script
+        from repro.bitcoin.transaction import TxOut
+
+        sim, a, b, wallet = self._funded_pair(obs_on, seed=4)
+        a.seen_limit = 4
+        tx = wallet.create_transaction(
+            a.chain,
+            [TxOut(30_000, p2pkh_script(wallet.key_hash))],
+            fee=10_000,
+        )
+        assert a.submit_transaction(tx)
+        sim.run_until(120.0)
+
+        # Confirm the transaction everywhere, then evict its seen entry.
+        miner = Miner(a.chain, wallet.key_hash)
+        block = miner.assemble(
+            a.mempool, timestamp=a.chain.median_time_past() + 1
+        )
+        a.submit_block(block)
+        assert a.chain.get_transaction(tx.txid) is not None
+        sim.run_until(240.0)
+        assert b.chain.get_transaction(tx.txid) is not None
+        for i in range(1, 6):
+            a.submit_transaction(self._junk_tx(i))
+        assert tx.txid not in a._seen_txs
+
+        registry = obs_on.registry()
+        rejected_before = registry.counter("mempool.rejected_total").value
+        assert not a.submit_transaction(tx, origin=b, hop=1)
+        assert (
+            registry.counter("net.duplicates_suppressed_total").value == 1
+        )
+        assert (
+            registry.counter("mempool.rejected_total").value
+            == rejected_before
+        )
+        assert a.misbehavior_score(b) == 0

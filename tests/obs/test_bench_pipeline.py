@@ -78,9 +78,9 @@ class TestRunBench:
 
 
 class TestRunnerDiscovery:
-    def test_discovers_all_nineteen_experiments(self):
+    def test_discovers_all_twenty_experiments(self):
         names = runner.discover_experiments()
-        assert len(names) == 19
+        assert len(names) == 20
         assert all(name.startswith("bench_") for name in names)
         assert "bench_b3_block_pipeline" in names
         assert "bench_e6_verifier_scaling" in names

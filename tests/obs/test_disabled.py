@@ -149,21 +149,21 @@ def test_regtest_observe_flag_enables():
 
 
 def test_a1_rows_bit_identical_with_profiler_installed_but_disabled(poisoned):
-    """The disabled path is pinned to the PR2 recording: with obs off —
-    even with a (poisoned) profiler installed — the A1 experiment
-    reproduces the exact rows recorded before any profiling existed."""
+    """The disabled path is pinned to the newest recorded baseline: with
+    obs off — even with a (poisoned) profiler installed — the A1
+    experiment reproduces the exact rows last recorded (the anchor moves
+    only when a deliberate protocol change re-records the trajectory,
+    e.g. PR 10's relay echo-to-origin fix)."""
     import importlib.util
     import json
     from pathlib import Path
 
+    from tests.bitcoin.test_chaos import newest_a1_baseline_rows
+
     root = Path(__file__).resolve().parents[2]
-    baseline_path = root / "BENCH_pr2.json"
-    if not baseline_path.exists():
+    rows = newest_a1_baseline_rows(root)
+    if rows is None:
         pytest.skip("no recorded baseline in this checkout")
-    recorded = json.loads(baseline_path.read_text())
-    rows = recorded["experiments"]["a1_fork_rate"]["benches"][
-        "bench_a1_fork_rate_vs_latency"
-    ]["extra_info"]["rows"]
 
     spec = importlib.util.spec_from_file_location(
         "bench_a1_fork_rate", root / "benchmarks" / "bench_a1_fork_rate.py"

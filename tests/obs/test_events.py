@@ -181,9 +181,9 @@ class TestValidateEvent:
 class TestSchemaV2:
     """The v2 bump: new swarm-telemetry kinds, v1 events still accepted."""
 
-    def test_current_version_is_three(self):
-        assert EVENT_SCHEMA_VERSION == 3
-        assert SUPPORTED_EVENT_SCHEMA_VERSIONS == (1, 2, 3)
+    def test_current_version_is_four(self):
+        assert EVENT_SCHEMA_VERSION == 4
+        assert SUPPORTED_EVENT_SCHEMA_VERSIONS == (1, 2, 3, 4)
 
     def test_v1_event_still_validates(self):
         # An event written by a pre-PR-6 run must keep round-tripping.
@@ -251,7 +251,7 @@ class TestSchemaV3:
         log.emit(kind, **payload)
         parsed = json.loads(log.to_jsonl().strip())
         validate_event(parsed)
-        assert parsed["v"] == 3
+        assert parsed["v"] == EVENT_SCHEMA_VERSION
         assert parsed["data"] == payload
 
     def test_new_kinds_reject_v2(self):
@@ -273,6 +273,60 @@ class TestSchemaV3:
             "kind": "relay.hop",
             "data": {"trace": "t", "from": "a", "to": "b",
                      "hop": 0, "sim_time": 0.0},
+        })
+
+
+class TestSchemaV4:
+    """The v4 bump: compact-relay kinds, older events accepted."""
+
+    @pytest.mark.parametrize(
+        "kind, payload",
+        [
+            (
+                "compact.received",
+                {"node": "node0", "hash": "ab", "txs": 10, "missing": 2},
+            ),
+            (
+                "compact.getblocktxn",
+                {"node": "node0", "peer": "node1", "hash": "ab",
+                 "indexes": 2},
+            ),
+            (
+                "compact.fallback",
+                {"node": "node0", "hash": "ab", "reason": "timeout"},
+            ),
+            (
+                "compact.withheld",
+                {"node": "node0", "peer": "node1", "hash": "ab"},
+            ),
+        ],
+    )
+    def test_new_kinds_round_trip(self, kind, payload):
+        log = EventLog()
+        log.emit(kind, **payload)
+        parsed = json.loads(log.to_jsonl().strip())
+        validate_event(parsed)
+        assert parsed["v"] == EVENT_SCHEMA_VERSION
+        assert parsed["data"] == payload
+
+    def test_new_kinds_reject_v3(self):
+        event = {
+            "v": 3,
+            "seq": 0,
+            "ts": 0.0,
+            "kind": "compact.fallback",
+            "data": {"node": "a", "hash": "ab", "reason": "timeout"},
+        }
+        with pytest.raises(EventSchemaError, match="introduced in schema v4"):
+            validate_event(event)
+
+    def test_v3_event_still_validates(self):
+        validate_event({
+            "v": 3,
+            "seq": 1,
+            "ts": 0.5,
+            "kind": "service.verdict",
+            "data": {"status": "ok", "degraded": False},
         })
 
 

@@ -150,6 +150,100 @@ class TestPropagationTree:
         assert max(latencies) < BLOCK_INTERVAL
 
 
+class TestNoEchoToOrigin:
+    """PR 10's headline bugfix: a node never relays a block or tx back
+    to the peer it first arrived from.  Pre-fix, every arrival was echoed
+    upstream, doubling relay traffic (it showed up as one extra redundant
+    ``relay.hop`` receive per delivered copy)."""
+
+    def _orphaned_suffixes(self, events):
+        """8-hex-char hash prefixes of blocks that were ever parked as
+        orphans — their adoption re-relays with no origin, so the echo
+        accounting below doesn't apply to them."""
+        return {
+            event["data"]["hash"].hex()[:8]
+            for event in events
+            if event["kind"] == "orphan.parked"
+        }
+
+    def test_two_node_line_has_zero_redundant_receives(self, enabled):
+        from repro.bitcoin.network import (
+            PoissonMiner,
+            Simulation,
+            build_network,
+        )
+        from repro.bitcoin.pow import block_work, target_to_bits
+
+        sim = Simulation(seed=5)
+        nodes = build_network(sim, 2)
+        rate = block_work(target_to_bits(2**252)) / BLOCK_INTERVAL
+        miner = PoissonMiner(nodes[0], rate, miner_id=1)
+        miner.start()
+        sim.run_until(4 * 3600.0)
+        assert nodes[0].chain.height > 0
+        assert nodes[1].chain.height == nodes[0].chain.height
+        # On a 2-node line the only possible duplicate is the echo; with
+        # the origin excluded there must be none at all.
+        assert obs.registry().counter("relay.redundant_total").value == 0
+
+    def test_swarm_relays_exactly_degree_minus_origin(self, enabled):
+        _nodes, events = _run_swarm()
+        orphaned = self._orphaned_suffixes(events)
+        trees = _block_trees(events)
+        settled = {
+            trace: tree
+            for trace, tree in trees.items()
+            if tree["origin_time"] is not None
+            and tree["origin_time"] < DURATION - BLOCK_INTERVAL
+            and trace.rsplit("-", 1)[-1] not in orphaned
+        }
+        assert len(settled) >= 10
+        # Ring-plus-chords over 20 nodes: 30 edges, degree sum 60.  Each
+        # non-origin node forwards to its degree-1 non-origin peers, the
+        # miner to all of its peers, so every settled block generates
+        # exactly 60 - 19 = 41 deliveries (+1 hop-0 origin event).  The
+        # pre-fix echo relayed to *every* peer: 60 sends, 61 hop events —
+        # this pin is the recorded drop.
+        degree_sum = sum(len(n.peers) for n in _nodes)
+        assert degree_sum == 60
+        expected_hops = degree_sum - (NODE_COUNT - 1) + 1
+        for trace, tree in settled.items():
+            assert tree["hops"] == expected_hops, trace
+
+    def test_swarm_never_echoes_to_first_seen_origin(self, enabled):
+        _nodes, events = _run_swarm()
+        orphaned = self._orphaned_suffixes(events)
+        first_seen = {}  # (trace, node) -> the node's first-seen sender
+        origins = {}  # trace -> miner (its sends are by fiat, not relay)
+        for event in events:
+            if event["kind"] != "relay.hop":
+                continue
+            data = event["data"]
+            if not data["trace"].startswith("blk"):
+                continue
+            if data["trace"].rsplit("-", 1)[-1] in orphaned:
+                continue
+            if data["hop"] == 0:
+                origins.setdefault(data["trace"], data["to"])
+            elif data["to"] != origins.get(data["trace"]):
+                # A late redundant copy delivered *to* the miner must not
+                # count as the miner's "first seen" upstream.
+                first_seen.setdefault(
+                    (data["trace"], data["to"]), data["from"]
+                )
+        assert first_seen
+        for event in events:
+            if event["kind"] != "relay.hop":
+                continue
+            data = event["data"]
+            sender = data["from"]
+            if data["hop"] == 0 or sender == data["to"]:
+                continue
+            upstream = first_seen.get((data["trace"], sender))
+            # The sender's own first-seen origin must never be a target.
+            assert upstream != data["to"], (data["trace"], sender)
+
+
 class TestTraceMinting:
     def test_trace_ids_deterministic_and_idempotent(self, enabled):
         from repro.bitcoin.network import Simulation
